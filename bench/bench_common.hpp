@@ -1,0 +1,24 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "support/env.hpp"
+#include "support/str.hpp"
+
+namespace dct::bench {
+
+/// Print a shape expectation and whether the measured data satisfies it.
+inline bool check(bool ok, const std::string& what) {
+  std::cout << "  [" << (ok ? " ok " : "WARN") << "] " << what << "\n";
+  return ok;
+}
+
+/// Speedup of mode m at the largest processor count.
+inline double at_max(const core::SweepResult& r, size_t m) {
+  return r.speedups[m].back();
+}
+
+}  // namespace dct::bench

@@ -1,0 +1,29 @@
+// Figure 8: five-point stencil speedups.
+//
+// Paper shape: BASE (block columns) is decent; COMP DECOMP alone assigns
+// two-dimensional blocks whose data is non-contiguous in the column-major
+// layout and is WORSE than base; after the data transformation the 2-D
+// blocks are contiguous and the program reaches near-linear speedup
+// (paper: 29 on 32 processors at 512x512).
+#include "apps/apps.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dct;
+  const long scale = repro_scale();
+  const linalg::Int n = 256 * scale;  // paper: 512
+  const auto r = core::run_sweep(apps::stencil5(n, 4), {});
+  std::cout << core::render_sweep(
+      strf("Figure 8: Five-Point Stencil speedups (%ldx%ld)",
+           static_cast<long>(n), static_cast<long>(n)),
+      r);
+  const double base = bench::at_max(r, 0), cd = bench::at_max(r, 1),
+               full = bench::at_max(r, 2);
+  bench::check(cd <= base * 1.05,
+               strf("comp decomp alone (%.1f) does not beat base (%.1f): "
+                    "non-contiguous 2-D blocks",
+                    cd, base));
+  bench::check(full > 1.5 * base,
+               strf("full optimization (%.1f) >> base (%.1f)", full, base));
+  return 0;
+}

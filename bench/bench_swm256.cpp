@@ -1,0 +1,31 @@
+// Figure 12: Swm256 speedups.
+//
+// Paper shape: the program is highly data-parallel and the base compiler
+// already achieves good speedups; the decomposition phase switches to
+// two-dimensional blocks (better communication-to-computation ratio)
+// which hurts until the data transformation makes the blocks contiguous,
+// ending slightly better than base.
+#include "apps/apps.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dct;
+  const long scale = repro_scale();
+  const linalg::Int n = 128 * scale;  // paper: 256
+  const auto r = core::run_sweep(apps::swm256(n, 4), {});
+  std::cout << core::render_sweep(
+      strf("Figure 12: Swm256 speedups (%ldx%ld)", static_cast<long>(n),
+           static_cast<long>(n)),
+      r);
+  const double base = bench::at_max(r, 0), cd = bench::at_max(r, 1),
+               full = bench::at_max(r, 2);
+  bench::check(base > 4, strf("base already scales (%.1f)", base));
+  bench::check(cd <= base * 1.1,
+               strf("comp decomp alone (%.1f) loses contiguity vs base "
+                    "(%.1f)",
+                    cd, base));
+  bench::check(full >= base * 0.9,
+               strf("full optimization regains it (%.1f vs base %.1f)", full,
+                    base));
+  return 0;
+}

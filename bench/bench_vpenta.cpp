@@ -1,0 +1,26 @@
+// Figure 4: Vpenta speedups.
+//
+// Paper shape: the base compiler gets only a slight speedup; computation
+// decomposition helps a little more (barriers between the aligned loops
+// are eliminated); the big jump comes from restructuring the 3-D array so
+// each processor's share of every plane is contiguous (F(*,BLOCK,*)).
+#include "apps/apps.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dct;
+  const long scale = repro_scale();
+  const linalg::Int n = 128 * scale;
+  const auto r = core::run_sweep(apps::vpenta(n), {});
+  std::cout << core::render_sweep(
+      strf("Figure 4: Vpenta speedups (n=%ld)", static_cast<long>(n)), r);
+  const double base = bench::at_max(r, 0), cd = bench::at_max(r, 1),
+               full = bench::at_max(r, 2);
+  bench::check(cd >= base * 0.95,
+               strf("comp decomp (%.1f) >= base (%.1f): barrier elimination",
+                    cd, base));
+  bench::check(full > 1.1 * cd,
+               strf("data transform is the final win: %.1f vs %.1f", full,
+                    cd));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Domain example: how the memory hierarchy parameters change the payoff
+// of the transformations. Compares the paper's DASH against a machine
+// with larger cache lines (more false sharing) and against a flat-latency
+// machine (no NUMA penalty) on the tomcatv kernel.
+//
+//   $ ./custom_machine
+#include <iostream>
+
+#include "apps/apps.hpp"
+#include "core/compiler.hpp"
+#include "runtime/executor.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace dct;
+  const ir::Program prog = apps::tomcatv(128, 2);
+  const int P = 32;
+
+  machine::MachineConfig dash = machine::MachineConfig::dash(P);
+
+  machine::MachineConfig wide = dash;  // 64B lines: 4x the false sharing
+  wide.l1.line_bytes = 64;
+  wide.l2.line_bytes = 64;
+
+  machine::MachineConfig flat = dash;  // uniform memory, no remote penalty
+  flat.lat_remote = flat.lat_local;
+  flat.lat_remote_dirty = flat.lat_local;
+
+  runtime::ExecOptions opts;
+  opts.collect_values = false;
+  const double seq =
+      runtime::simulate(core::compile(prog, core::Mode::Base, 1),
+                        machine::MachineConfig::dash(1), opts)
+          .cycles;
+
+  Table t({"machine", "base", "comp decomp", "+ data transform",
+           "transform gain"});
+  for (const auto& [name, cfg] :
+       {std::pair<const char*, machine::MachineConfig>{"DASH (16B lines)",
+                                                       dash},
+        {"64B cache lines", wide},
+        {"flat memory (UMA)", flat}}) {
+    double s[3];
+    int i = 0;
+    for (core::Mode mode :
+         {core::Mode::Base, core::Mode::CompDecomp, core::Mode::Full})
+      s[i++] = seq / runtime::simulate(core::compile(prog, mode, P), cfg, opts)
+                         .cycles;
+    t.add_row({name, strf("%.1f", s[0]), strf("%.1f", s[1]),
+               strf("%.1f", s[2]), strf("%.2fx", s[2] / s[1])});
+  }
+  std::cout << "tomcatv (128x128, P=32) across memory systems:\n"
+            << t.to_string()
+            << "\nWider lines amplify false sharing, keeping the layout\n"
+               "transformation essential; on a flat UMA machine the NUMA\n"
+               "half of the benefit disappears and plain parallelization\n"
+               "already scales — exactly the paper's argument for why\n"
+               "scalable shared-address-space machines need these\n"
+               "transformations most.\n";
+  return 0;
+}

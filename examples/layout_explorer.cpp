@@ -1,0 +1,72 @@
+// Layout explorer: reproduces the index/address diagrams of Figures 2
+// and 3 of the paper for an 8x4 array under (BLOCK,*), (CYCLIC,*) and
+// (BLOCK-CYCLIC,*) distributions, and lets you see exactly how
+// strip-mining and permutation compose.
+//
+//   $ ./layout_explorer
+#include <iostream>
+
+#include "layout/layout.hpp"
+#include "support/str.hpp"
+
+using namespace dct;
+using layout::Layout;
+
+namespace {
+
+void show(const std::string& title, const ir::ArrayDecl& decl,
+          const Layout& l) {
+  std::cout << title << "\n  " << l.to_string() << "\n";
+  // Print the original 8x4 grid; each cell shows "new-indices | address"
+  // as in Figure 3(c).
+  for (linalg::Int i1 = 0; i1 < decl.dims[0]; ++i1) {
+    std::cout << "  ";
+    for (linalg::Int i2 = 0; i2 < decl.dims[1]; ++i2) {
+      const std::vector<linalg::Int> idx{i1, i2};
+      const auto mapped = l.map_index(idx);
+      std::string cell;
+      for (size_t k = 0; k < mapped.size(); ++k)
+        cell += (k ? "," : "") + std::to_string(mapped[k]);
+      std::cout << strf("%-10s", strf("%s|%lld", cell.c_str(),
+                                      static_cast<long long>(l.linearize(idx)))
+                                     .c_str());
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const ir::ArrayDecl decl{"A", {8, 4}, 4, true};
+  const int grid[] = {2};
+
+  std::cout << "Figure 2: strip-mining a 12-element array (b=4), then\n"
+               "transposing makes every fourth element contiguous:\n  ";
+  Layout fig2 = Layout::identity({12});
+  fig2.apply(layout::StripMine{0, 4});
+  fig2.apply(layout::Permute{{1, 0}});
+  for (linalg::Int i = 0; i < 12; ++i)
+    std::cout << fig2.linearize(std::vector<linalg::Int>{i}) << " ";
+  std::cout << "\n\n";
+
+  auto dist = [&](decomp::DistKind kind, linalg::Int block = 0) {
+    decomp::ArrayDecomposition ad;
+    ad.dims = {decomp::DimDistribution{kind, 0, block},
+               decomp::DimDistribution{}};
+    return ad;
+  };
+
+  show("Figure 3, (BLOCK, *) over P=2:", decl,
+       layout::derive_layout(decl, dist(decomp::DistKind::Block), grid));
+  show("Figure 3, (CYCLIC, *) over P=2:", decl,
+       layout::derive_layout(decl, dist(decomp::DistKind::Cyclic), grid));
+  show("Figure 3, (BLOCK-CYCLIC, *) b=2 over P=2:", decl,
+       layout::derive_layout(decl, dist(decomp::DistKind::BlockCyclic, 2),
+                             grid));
+  std::cout << "In every case one processor's elements form one contiguous\n"
+               "address range — the property that removes false sharing and\n"
+               "cache conflicts on the shared-address-space machine.\n";
+  return 0;
+}

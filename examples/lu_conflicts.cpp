@@ -1,0 +1,43 @@
+// Domain example: LU decomposition and the power-of-two conflict-miss
+// pathology (paper Section 6.2.2).
+//
+// With a cyclic column distribution and the original column-major layout,
+// all of a processor's columns can map to the same few lines of the
+// direct-mapped cache: for a 256x256 double matrix on 32 processors,
+// every 32nd column is 64KB apart — the exact L1 size. The paper observed
+// that 31 processors ran 5x faster than 32. The data transformation makes
+// each processor's cyclic columns a contiguous region and the pathology
+// disappears.
+//
+//   $ ./lu_conflicts [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/apps.hpp"
+#include "core/experiment.hpp"
+#include "support/str.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dct;
+  const linalg::Int n = argc > 1 ? std::atol(argv[1]) : 256;
+  const ir::Program prog = apps::lu(n);
+
+  core::SweepOptions opts;
+  opts.procs = {16, 24, 31, 32};
+  opts.modes = {core::Mode::CompDecomp, core::Mode::Full};
+  opts.verify = false;
+  const core::SweepResult r = core::run_sweep(prog, opts);
+
+  std::cout << "LU " << n << "x" << n
+            << ": cyclic columns, with and without the data transform\n\n";
+  std::cout << core::render_sweep("LU conflict-miss pathology", r);
+
+  const double cd31 = r.speedups[0][2], cd32 = r.speedups[0][3];
+  const double full32 = r.speedups[1][3];
+  std::cout << strf(
+      "\ncomp-decomp: P=31 -> %.1fx but P=32 -> %.1fx (%.1fx gap).\n"
+      "After the data transform P=32 reaches %.1fx: each processor's\n"
+      "columns are contiguous, so they cannot conflict with each other.\n",
+      cd31, cd32, cd31 / cd32, full32);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: run the full compiler pipeline on the paper's Figure 1
+// example and watch each step — parallelization, computation/data
+// decomposition, data transformation — change the program's behaviour on
+// the simulated DASH machine.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "apps/apps.hpp"
+#include "core/compiler.hpp"
+#include "core/experiment.hpp"
+#include "runtime/executor.hpp"
+#include "support/str.hpp"
+
+int main() {
+  using namespace dct;
+
+  // 1. The input program (paper Figure 1a): a fully parallel update loop
+  //    followed by a column smoother, inside a time loop.
+  const ir::Program prog = apps::figure1(96, 4);
+  std::cout << "Input program:\n" << prog.to_string() << "\n";
+
+  // 2. What the decomposition algorithm finds (Section 3): distribute
+  //    blocks of rows — DISTRIBUTE(BLOCK, *) — and run both nests as
+  //    communication-free doalls with no barrier in between.
+  const decomp::ProgramDecomposition dec = decomp::decompose(prog);
+  std::cout << dec.to_string(prog) << "\n";
+
+  // 3. What the data transformation does (Section 4): strip-mine the row
+  //    dimension and move the processor-identifying dimension rightmost,
+  //    making each processor's rows contiguous in the shared address
+  //    space.
+  const core::CompiledProgram full = core::compile(prog, core::Mode::Full, 8);
+  for (size_t a = 0; a < full.arrays.size(); ++a)
+    if (!full.arrays[a].layout.is_identity())
+      std::cout << "layout " << prog.arrays[a].name << ": "
+                << full.arrays[a].layout.to_string() << "\n";
+  std::cout << "\n";
+
+  // 4. Measure all three compiler configurations on the simulated DASH.
+  core::SweepOptions opts;
+  opts.procs = {1, 4, 8, 16, 32};
+  const core::SweepResult r = core::run_sweep(prog, opts);
+  std::cout << core::render_sweep("Figure 1 example on simulated DASH", r);
+
+  std::cout << "\nThe data transformation removes the false sharing the\n"
+               "row-block computation suffers on a column-major layout —\n"
+               "compare the coh_false counters above.\n";
+  return 0;
+}

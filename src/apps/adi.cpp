@@ -1,0 +1,82 @@
+// ADI integration (paper Figure 9): a column-sweep phase followed by a
+// row-sweep phase per time step.
+//
+//   C Column Sweep                      C Row Sweep
+//   DO I1 = 1,N ; DO I2 = 2,N           DO I1 = 2,N ; DO I2 = 1,N
+//     X(I2,I1) -= X(I2-1,I1)*A(I2,I1)     X(I2,I1) -= X(I2,I1-1)*A(I2,I1)
+//                 /B(I2-1,I1)                         /B(I2,I1-1)
+//     B(I2,I1) -= A(I2,I1)*A(I2,I1)       B(I2,I1) -= A(I2,I1)*A(I2,I1)
+//                 /B(I2-1,I1)                         /B(I2,I1-1)
+//
+// A is read-only (replicated); the global decomposition keeps a static
+// column-block distribution, running the column sweep as doall and the
+// row sweep as doall/pipeline.
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program adi(Int n, int steps) {
+  ProgramBuilder pb("adi");
+  const int x = pb.array("X", {n, n}, 8);
+  const int acoef = pb.array("A", {n, n}, 8);
+  const int b = pb.array("B", {n, n}, 8);
+
+  {
+    LoopNest& nest = pb.nest("col_sweep", 1);
+    nest.loops.push_back(loop("I1", cst(0), cst(n - 1)));
+    nest.loops.push_back(loop("I2", cst(1), cst(n - 1)));
+    Stmt s1;
+    s1.write = simple_ref(x, 2, {{1, 0}, {0, 0}});
+    s1.reads = {simple_ref(x, 2, {{1, 0}, {0, 0}}),
+                simple_ref(x, 2, {{1, -1}, {0, 0}}),
+                simple_ref(acoef, 2, {{1, 0}, {0, 0}}),
+                simple_ref(b, 2, {{1, -1}, {0, 0}})};
+    s1.compute_cycles = 10;  // mul + div + sub
+    s1.eval = [](std::span<const double> r) {
+      return r[0] - r[1] * r[2] / r[3];
+    };
+    nest.stmts.push_back(std::move(s1));
+    Stmt s2;
+    s2.write = simple_ref(b, 2, {{1, 0}, {0, 0}});
+    s2.reads = {simple_ref(b, 2, {{1, 0}, {0, 0}}),
+                simple_ref(acoef, 2, {{1, 0}, {0, 0}}),
+                simple_ref(b, 2, {{1, -1}, {0, 0}})};
+    s2.compute_cycles = 10;
+    s2.eval = [](std::span<const double> r) {
+      return r[0] - r[1] * r[1] / r[2];
+    };
+    nest.stmts.push_back(std::move(s2));
+  }
+  {
+    LoopNest& nest = pb.nest("row_sweep", 1);
+    nest.loops.push_back(loop("I1", cst(1), cst(n - 1)));
+    nest.loops.push_back(loop("I2", cst(0), cst(n - 1)));
+    Stmt s1;
+    s1.write = simple_ref(x, 2, {{1, 0}, {0, 0}});
+    s1.reads = {simple_ref(x, 2, {{1, 0}, {0, 0}}),
+                simple_ref(x, 2, {{1, 0}, {0, -1}}),
+                simple_ref(acoef, 2, {{1, 0}, {0, 0}}),
+                simple_ref(b, 2, {{1, 0}, {0, -1}})};
+    s1.compute_cycles = 10;
+    s1.eval = [](std::span<const double> r) {
+      return r[0] - r[1] * r[2] / r[3];
+    };
+    nest.stmts.push_back(std::move(s1));
+    Stmt s2;
+    s2.write = simple_ref(b, 2, {{1, 0}, {0, 0}});
+    s2.reads = {simple_ref(b, 2, {{1, 0}, {0, 0}}),
+                simple_ref(acoef, 2, {{1, 0}, {0, 0}}),
+                simple_ref(b, 2, {{1, 0}, {0, -1}})};
+    s2.compute_cycles = 10;
+    s2.eval = [](std::span<const double> r) {
+      return r[0] - r[1] * r[1] / r[2];
+    };
+    nest.stmts.push_back(std::move(s2));
+  }
+  pb.set_time_steps(steps);
+  return pb.build();
+}
+
+}  // namespace dct::apps

@@ -1,0 +1,91 @@
+// Erlebacher (600-line ICASE benchmark): three-dimensional partial
+// derivatives with tridiagonal solves. Representative structure:
+//
+//  - central differences in X, Y and Z writing DUX, DUY, DUZ (fully
+//    parallel);
+//  - forward and backward substitution along Z updating DUZ (wavefront
+//    in Z).
+//
+// The input array U is read-only and replicated. The decomposition phase
+// gives DUX and DUY a Z-block distribution ((*,*,BLOCK)) and DUZ a
+// Y-block distribution ((*,BLOCK,*)) so the Z-solves stay fully parallel;
+// the data transformation then makes DUZ's Y-blocks contiguous.
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program erlebacher(Int n, int steps) {
+  ProgramBuilder pb("erlebacher");
+  const int u = pb.array("U", {n, n, n}, 4);
+  const int dux = pb.array("DUX", {n, n, n}, 4);
+  const int duy = pb.array("DUY", {n, n, n}, 4);
+  const int duz = pb.array("DUZ", {n, n, n}, 4);
+
+  // Loops are (K, J, I) outer-to-inner; array dims are (I, J, K).
+  auto deriv = [&](const std::string& name, int target, int diff_dim,
+                   Int lo_i, Int hi_i, Int lo_j, Int hi_j, Int lo_k,
+                   Int hi_k) {
+    LoopNest& nest = pb.nest(name, 1);
+    nest.loops.push_back(loop("K", cst(lo_k), cst(hi_k)));
+    nest.loops.push_back(loop("J", cst(lo_j), cst(hi_j)));
+    nest.loops.push_back(loop("I", cst(lo_i), cst(hi_i)));
+    auto uref = [&](Int off) {
+      ArrayRef r = simple_ref(u, 3, {{2, 0}, {1, 0}, {0, 0}});
+      r.offset[static_cast<size_t>(diff_dim)] = off;
+      return r;
+    };
+    Stmt s;
+    s.write = simple_ref(target, 3, {{2, 0}, {1, 0}, {0, 0}});
+    s.reads = {uref(1), uref(-1)};
+    s.compute_cycles = 2;
+    s.eval = [](std::span<const double> r) { return 0.5 * (r[0] - r[1]); };
+    nest.stmts.push_back(std::move(s));
+  };
+  deriv("dux", dux, 0, 1, n - 2, 0, n - 1, 0, n - 1);
+  deriv("duy", duy, 1, 0, n - 1, 1, n - 2, 0, n - 1);
+  deriv("duz", duz, 2, 0, n - 1, 0, n - 1, 1, n - 2);
+
+  {
+    // Forward substitution along Z (wavefront).
+    LoopNest& nest = pb.nest("ztri_fwd", 1);
+    nest.loops.push_back(loop("K", cst(1), cst(n - 1)));
+    nest.loops.push_back(loop("J", cst(0), cst(n - 1)));
+    nest.loops.push_back(loop("I", cst(0), cst(n - 1)));
+    Stmt s;
+    s.write = simple_ref(duz, 3, {{2, 0}, {1, 0}, {0, 0}});
+    s.reads = {simple_ref(duz, 3, {{2, 0}, {1, 0}, {0, 0}}),
+               simple_ref(duz, 3, {{2, 0}, {1, 0}, {0, -1}})};
+    s.compute_cycles = 2;
+    s.eval = [](std::span<const double> r) { return r[0] - 0.3 * r[1]; };
+    nest.stmts.push_back(std::move(s));
+  }
+  {
+    // Backward substitution along Z: descending K via reversed subscripts.
+    LoopNest& nest = pb.nest("ztri_bwd", 1);
+    nest.loops.push_back(loop("Kr", cst(0), cst(n - 2)));
+    nest.loops.push_back(loop("J", cst(0), cst(n - 1)));
+    nest.loops.push_back(loop("I", cst(0), cst(n - 1)));
+    auto rev = [&](Int off) {
+      ArrayRef r;
+      r.array = duz;
+      r.access = linalg::IntMatrix(3, 3);
+      r.access.at(0, 2) = 1;   // I
+      r.access.at(1, 1) = 1;   // J
+      r.access.at(2, 0) = -1;  // K = (n-2) - Kr + off
+      r.offset = {0, 0, n - 2 + off};
+      return r;
+    };
+    Stmt s;
+    s.write = rev(0);
+    s.reads = {rev(0), rev(1)};
+    s.compute_cycles = 2;
+    s.eval = [](std::span<const double> r) { return r[0] - 0.3 * r[1]; };
+    nest.stmts.push_back(std::move(s));
+  }
+  pb.set_time_steps(steps);
+  return pb.build();
+}
+
+}  // namespace dct::apps

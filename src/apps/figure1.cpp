@@ -1,0 +1,52 @@
+// The paper's Figure 1 running example:
+//
+//   DO time = 1,NSTEPS
+//     DO J = 1,N ; DO I = 1,N : A(I,J) = B(I,J) + C(I,J)
+//     DO J = 2,N-1 ; DO I = 1,N :
+//       A(I,J) = 0.333*(A(I,J) + A(I,J-1) + A(I,J+1))
+//
+// FORTRAN column-major: dim 0 is I (stride 1), dim 1 is J.
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program figure1(Int n, int steps) {
+  ProgramBuilder pb("figure1");
+  const int a = pb.array("A", {n, n}, 4);
+  const int b = pb.array("B", {n, n}, 4);
+  const int c = pb.array("C", {n, n}, 4);
+
+  {
+    LoopNest& nest = pb.nest("add", 1);
+    nest.loops.push_back(loop("J", cst(0), cst(n - 1)));
+    nest.loops.push_back(loop("I", cst(0), cst(n - 1)));
+    Stmt s;
+    s.write = simple_ref(a, 2, {{1, 0}, {0, 0}});
+    s.reads = {simple_ref(b, 2, {{1, 0}, {0, 0}}),
+               simple_ref(c, 2, {{1, 0}, {0, 0}})};
+    s.compute_cycles = 2;
+    s.eval = [](std::span<const double> r) { return r[0] + r[1]; };
+    nest.stmts.push_back(std::move(s));
+  }
+  {
+    LoopNest& nest = pb.nest("smooth", 1);
+    nest.loops.push_back(loop("J", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I", cst(0), cst(n - 1)));
+    Stmt s;
+    s.write = simple_ref(a, 2, {{1, 0}, {0, 0}});
+    s.reads = {simple_ref(a, 2, {{1, 0}, {0, 0}}),
+               simple_ref(a, 2, {{1, 0}, {0, -1}}),
+               simple_ref(a, 2, {{1, 0}, {0, 1}})};
+    s.compute_cycles = 3;
+    s.eval = [](std::span<const double> r) {
+      return 0.333 * (r[0] + r[1] + r[2]);
+    };
+    nest.stmts.push_back(std::move(s));
+  }
+  pb.set_time_steps(steps);
+  return pb.build();
+}
+
+}  // namespace dct::apps

@@ -1,0 +1,50 @@
+// LU decomposition without pivoting (paper Figure 5):
+//
+//   DO I1 = 1,N
+//     DO I2 = I1+1,N
+//       A(I2,I1) = A(I2,I1) / A(I1,I1)          <- depth-2 statement
+//       DO I3 = I1+1,N
+//         A(I2,I3) = A(I2,I3) - A(I2,I1)*A(I1,I3)
+//
+// The imperfect nest is expressed with Stmt::depth. The paper's compiler
+// assigns all operations on a column to its owner and distributes columns
+// cyclically for load balance: A DISTRIBUTE(*, CYCLIC).
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program lu(Int n) {
+  ProgramBuilder pb("lu");
+  const int a = pb.array("A", {n, n}, 8);
+
+  LoopNest& nest = pb.nest("eliminate", 1);
+  nest.loops.push_back(loop("I1", cst(0), cst(n - 2)));
+  nest.loops.push_back(loop("I2", var(0) + 1, cst(n - 1)));
+  nest.loops.push_back(loop("I3", var(0) + 1, cst(n - 1)));
+
+  {
+    Stmt div;
+    div.depth = 2;
+    div.write = simple_ref(a, 3, {{1, 0}, {0, 0}});
+    div.reads = {simple_ref(a, 3, {{1, 0}, {0, 0}}),
+                 simple_ref(a, 3, {{0, 0}, {0, 0}})};
+    div.compute_cycles = 8;  // FP divide
+    div.eval = [](std::span<const double> r) { return r[0] / r[1]; };
+    nest.stmts.push_back(std::move(div));
+  }
+  {
+    Stmt upd;
+    upd.write = simple_ref(a, 3, {{1, 0}, {2, 0}});
+    upd.reads = {simple_ref(a, 3, {{1, 0}, {2, 0}}),
+                 simple_ref(a, 3, {{1, 0}, {0, 0}}),
+                 simple_ref(a, 3, {{0, 0}, {2, 0}})};
+    upd.compute_cycles = 2;
+    upd.eval = [](std::span<const double> r) { return r[0] - r[1] * r[2]; };
+    nest.stmts.push_back(std::move(upd));
+  }
+  return pb.build();
+}
+
+}  // namespace dct::apps

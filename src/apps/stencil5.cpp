@@ -1,0 +1,56 @@
+// Five-point stencil (paper Figure 7) with an explicit copy-back nest so
+// the time loop is a genuine relaxation:
+//
+//   DO time = 1,NSTEPS
+//     DO I1 = 2,N-1 ; DO I2 = 2,N-1
+//       A(I2,I1) = .2*(B(I2,I1)+B(I2-1,I1)+B(I2+1,I1)+B(I2,I1-1)+B(I2,I1+1))
+//     DO I1 = 2,N-1 ; DO I2 = 2,N-1
+//       B(I2,I1) = A(I2,I1)
+//
+// Both nests are fully parallel in both dimensions; the paper's compiler
+// chooses a two-dimensional (BLOCK, BLOCK) decomposition for its better
+// computation-to-communication ratio.
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program stencil5(Int n, int steps) {
+  ProgramBuilder pb("stencil5");
+  const int a = pb.array("A", {n, n}, 4);
+  const int b = pb.array("B", {n, n}, 4);
+
+  {
+    LoopNest& nest = pb.nest("relax", 1);
+    nest.loops.push_back(loop("I1", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I2", cst(1), cst(n - 2)));
+    Stmt s;
+    s.write = simple_ref(a, 2, {{1, 0}, {0, 0}});
+    s.reads = {simple_ref(b, 2, {{1, 0}, {0, 0}}),
+               simple_ref(b, 2, {{1, -1}, {0, 0}}),
+               simple_ref(b, 2, {{1, 1}, {0, 0}}),
+               simple_ref(b, 2, {{1, 0}, {0, -1}}),
+               simple_ref(b, 2, {{1, 0}, {0, 1}})};
+    s.compute_cycles = 5;
+    s.eval = [](std::span<const double> r) {
+      return 0.2 * (r[0] + r[1] + r[2] + r[3] + r[4]);
+    };
+    nest.stmts.push_back(std::move(s));
+  }
+  {
+    LoopNest& nest = pb.nest("copyback", 1);
+    nest.loops.push_back(loop("I1", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I2", cst(1), cst(n - 2)));
+    Stmt s;
+    s.write = simple_ref(b, 2, {{1, 0}, {0, 0}});
+    s.reads = {simple_ref(a, 2, {{1, 0}, {0, 0}})};
+    s.compute_cycles = 1;
+    s.eval = [](std::span<const double> r) { return r[0]; };
+    nest.stmts.push_back(std::move(s));
+  }
+  pb.set_time_steps(steps);
+  return pb.build();
+}
+
+}  // namespace dct::apps

@@ -1,0 +1,120 @@
+// Swm256 (SPEC92): finite-difference shallow-water equations.
+// Representative structure: per time step, compute capital-letter
+// intermediates (CU, CV, Z, H) from U, V, P with two-dimensional stencil
+// offsets, compute the new time level (UNEW, VNEW, PNEW), then copy back.
+// Every nest is fully parallel in both dimensions; the decomposition
+// phase distributes both (BLOCK, BLOCK).
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program swm256(Int n, int steps) {
+  ProgramBuilder pb("swm256");
+  const int u = pb.array("U", {n, n}, 4);
+  const int v = pb.array("V", {n, n}, 4);
+  const int p = pb.array("P", {n, n}, 4);
+  const int cu = pb.array("CU", {n, n}, 4);
+  const int cv = pb.array("CV", {n, n}, 4);
+  const int z = pb.array("Z", {n, n}, 4);
+  const int h = pb.array("H", {n, n}, 4);
+  const int unew = pb.array("UNEW", {n, n}, 4);
+  const int vnew = pb.array("VNEW", {n, n}, 4);
+  const int pnew = pb.array("PNEW", {n, n}, 4);
+
+  auto at = [&](int arr, Int di, Int dj) {
+    return simple_ref(arr, 2, {{1, di}, {0, dj}});
+  };
+
+  {
+    LoopNest& nest = pb.nest("calc1", 1);
+    nest.loops.push_back(loop("J", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I", cst(1), cst(n - 2)));
+    Stmt s1;
+    s1.write = at(cu, 0, 0);
+    s1.reads = {at(p, 0, 0), at(p, -1, 0), at(u, 0, 0)};
+    s1.compute_cycles = 3;
+    s1.eval = [](std::span<const double> r) {
+      return 0.5 * (r[0] + r[1]) * r[2];
+    };
+    nest.stmts.push_back(std::move(s1));
+    Stmt s2;
+    s2.write = at(cv, 0, 0);
+    s2.reads = {at(p, 0, 0), at(p, 0, -1), at(v, 0, 0)};
+    s2.compute_cycles = 3;
+    s2.eval = [](std::span<const double> r) {
+      return 0.5 * (r[0] + r[1]) * r[2];
+    };
+    nest.stmts.push_back(std::move(s2));
+    Stmt s3;
+    s3.write = at(z, 0, 0);
+    s3.reads = {at(v, 0, 0), at(v, -1, 0), at(u, 0, 0), at(u, 0, -1),
+                at(p, 0, 0)};
+    s3.compute_cycles = 6;
+    s3.eval = [](std::span<const double> r) {
+      return (r[0] - r[1] + r[2] - r[3]) / (4.0 * r[4] + 1.0);
+    };
+    nest.stmts.push_back(std::move(s3));
+    Stmt s4;
+    s4.write = at(h, 0, 0);
+    s4.reads = {at(p, 0, 0), at(u, 0, 0), at(v, 0, 0)};
+    s4.compute_cycles = 5;
+    s4.eval = [](std::span<const double> r) {
+      return r[0] + 0.25 * (r[1] * r[1] + r[2] * r[2]);
+    };
+    nest.stmts.push_back(std::move(s4));
+  }
+  {
+    LoopNest& nest = pb.nest("calc2", 1);
+    nest.loops.push_back(loop("J", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I", cst(1), cst(n - 2)));
+    Stmt s1;
+    s1.write = at(unew, 0, 0);
+    s1.reads = {at(u, 0, 0), at(z, 0, 1), at(z, 0, 0), at(cv, 0, 0),
+                at(cv, -1, 0), at(h, 0, 0), at(h, -1, 0)};
+    s1.compute_cycles = 7;
+    s1.eval = [](std::span<const double> r) {
+      return r[0] + 0.1 * (r[1] + r[2]) * (r[3] + r[4]) - 0.2 * (r[5] - r[6]);
+    };
+    nest.stmts.push_back(std::move(s1));
+    Stmt s2;
+    s2.write = at(vnew, 0, 0);
+    s2.reads = {at(v, 0, 0), at(z, 1, 0), at(z, 0, 0), at(cu, 0, 0),
+                at(cu, 0, -1), at(h, 0, 0), at(h, 0, -1)};
+    s2.compute_cycles = 7;
+    s2.eval = [](std::span<const double> r) {
+      return r[0] - 0.1 * (r[1] + r[2]) * (r[3] + r[4]) - 0.2 * (r[5] - r[6]);
+    };
+    nest.stmts.push_back(std::move(s2));
+    Stmt s3;
+    s3.write = at(pnew, 0, 0);
+    s3.reads = {at(p, 0, 0), at(cu, 0, 0), at(cu, -1, 0), at(cv, 0, 0),
+                at(cv, 0, -1)};
+    s3.compute_cycles = 5;
+    s3.eval = [](std::span<const double> r) {
+      return r[0] - 0.2 * (r[1] - r[2] + r[3] - r[4]);
+    };
+    nest.stmts.push_back(std::move(s3));
+  }
+  {
+    LoopNest& nest = pb.nest("copyback", 1);
+    nest.loops.push_back(loop("J", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I", cst(1), cst(n - 2)));
+    auto copy = [&](int dst, int src) {
+      Stmt s;
+      s.write = at(dst, 0, 0);
+      s.reads = {at(src, 0, 0)};
+      s.compute_cycles = 1;
+      s.eval = [](std::span<const double> r) { return r[0]; };
+      nest.stmts.push_back(std::move(s));
+    };
+    copy(u, unew);
+    copy(v, vnew);
+    copy(p, pnew);
+  }
+  pb.set_time_steps(steps);
+  return pb.build();
+}
+
+}  // namespace dct::apps

@@ -1,0 +1,96 @@
+// Tomcatv (SPEC92): vectorized mesh generation. Representative structure
+// per iteration:
+//
+//  - residual computation: fully parallel 2-D nests writing RX, RY from
+//    X, Y neighbourhood reads;
+//  - tridiagonal relaxation with dependence across the rows (carried by
+//    the column index J, parallel in I) updating AA;
+//  - mesh update: fully parallel.
+//
+// The BASE compiler parallelizes the outermost parallel loop of each nest
+// (J where possible, I in the row-dependent nests), so each processor
+// touches column blocks in some nests and row blocks in others. The
+// global decomposition keeps a single row-block mapping: AA(BLOCK, *),
+// other arrays aligned — poor cache behaviour until the data
+// transformation makes each processor's rows contiguous.
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program tomcatv(Int n, int steps) {
+  ProgramBuilder pb("tomcatv");
+  const int x = pb.array("X", {n, n}, 8);
+  const int y = pb.array("Y", {n, n}, 8);
+  const int rx = pb.array("RX", {n, n}, 8);
+  const int ry = pb.array("RY", {n, n}, 8);
+  const int aa = pb.array("AA", {n, n}, 8);
+
+  auto at = [&](int arr, Int di, Int dj) {
+    return simple_ref(arr, 2, {{1, di}, {0, dj}});
+  };
+
+  {
+    LoopNest& nest = pb.nest("residual", 1);
+    nest.loops.push_back(loop("J", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I", cst(1), cst(n - 2)));
+    Stmt s1;
+    s1.write = at(rx, 0, 0);
+    s1.reads = {at(x, -1, 0), at(x, 1, 0), at(x, 0, -1), at(x, 0, 1),
+                at(x, 0, 0)};
+    s1.compute_cycles = 6;
+    s1.eval = [](std::span<const double> r) {
+      return r[0] + r[1] + r[2] + r[3] - 4.0 * r[4];
+    };
+    nest.stmts.push_back(std::move(s1));
+    Stmt s2;
+    s2.write = at(ry, 0, 0);
+    s2.reads = {at(y, -1, 0), at(y, 1, 0), at(y, 0, -1), at(y, 0, 1),
+                at(y, 0, 0)};
+    s2.compute_cycles = 6;
+    s2.eval = [](std::span<const double> r) {
+      return r[0] + r[1] + r[2] + r[3] - 4.0 * r[4];
+    };
+    nest.stmts.push_back(std::move(s2));
+  }
+  {
+    // Dependence across the rows: carried by J, parallel in I.
+    LoopNest& nest = pb.nest("row_solve", 1);
+    nest.loops.push_back(loop("J", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I", cst(1), cst(n - 2)));
+    Stmt s;
+    s.write = at(aa, 0, 0);
+    s.reads = {at(aa, 0, 0), at(aa, 0, -1), at(rx, 0, 0)};
+    s.compute_cycles = 3;
+    s.eval = [](std::span<const double> r) {
+      return 0.5 * r[0] + 0.25 * r[1] + 0.125 * r[2];
+    };
+    nest.stmts.push_back(std::move(s));
+  }
+  {
+    LoopNest& nest = pb.nest("update", 1);
+    nest.loops.push_back(loop("J", cst(1), cst(n - 2)));
+    nest.loops.push_back(loop("I", cst(1), cst(n - 2)));
+    Stmt s1;
+    s1.write = at(x, 0, 0);
+    s1.reads = {at(x, 0, 0), at(rx, 0, 0), at(aa, 0, 0)};
+    s1.compute_cycles = 3;
+    s1.eval = [](std::span<const double> r) {
+      return r[0] + 0.1 * r[1] + 0.01 * r[2];
+    };
+    nest.stmts.push_back(std::move(s1));
+    Stmt s2;
+    s2.write = at(y, 0, 0);
+    s2.reads = {at(y, 0, 0), at(ry, 0, 0), at(aa, 0, 0)};
+    s2.compute_cycles = 3;
+    s2.eval = [](std::span<const double> r) {
+      return r[0] + 0.1 * r[1] + 0.01 * r[2];
+    };
+    nest.stmts.push_back(std::move(s2));
+  }
+  pb.set_time_steps(steps);
+  return pb.build();
+}
+
+}  // namespace dct::apps

@@ -1,0 +1,106 @@
+// Vpenta (nasa7 kernel, SPEC92): simultaneous inversion of three
+// pentadiagonal matrices. Representative structure:
+//
+//  - forward elimination over the 2-D work arrays: recurrence along I
+//    (stride-1 dimension), independent columns J;
+//  - forward and backward substitution over the 3-D right-hand-side array
+//    F(N,N,3): recurrence along I, independent over J and the 3 planes.
+//
+// Each processor accesses a block of columns of the 2-D arrays (already
+// contiguous column-major), but its share of F — a J-block of every
+// plane — is not contiguous: that is the data-layout opportunity the
+// paper highlights.  Decompositions: A..E (*, BLOCK), F (*, BLOCK, *).
+#include "apps/apps.hpp"
+
+namespace dct::apps {
+
+using namespace ir;
+
+Program vpenta(Int n) {
+  ProgramBuilder pb("vpenta");
+  const int a = pb.array("A", {n, n}, 4);
+  const int b = pb.array("B", {n, n}, 4);
+  const int c = pb.array("C", {n, n}, 4);
+  const int d = pb.array("D", {n, n}, 4);
+  const int f = pb.array("F", {n, n, 3}, 4);
+
+  {
+    // Forward elimination on the 2-D arrays: J parallel, I recurrent.
+    LoopNest& nest = pb.nest("fwd2d", 1);
+    nest.loops.push_back(loop("J", cst(0), cst(n - 1)));
+    nest.loops.push_back(loop("I", cst(2), cst(n - 1)));
+    Stmt s1;
+    s1.write = simple_ref(a, 2, {{1, 0}, {0, 0}});
+    s1.reads = {simple_ref(a, 2, {{1, 0}, {0, 0}}),
+                simple_ref(b, 2, {{1, 0}, {0, 0}}),
+                simple_ref(a, 2, {{1, -1}, {0, 0}}),
+                simple_ref(c, 2, {{1, 0}, {0, 0}}),
+                simple_ref(a, 2, {{1, -2}, {0, 0}})};
+    s1.compute_cycles = 4;
+    s1.eval = [](std::span<const double> r) {
+      return r[0] - r[1] * r[2] - r[3] * r[4];
+    };
+    nest.stmts.push_back(std::move(s1));
+    Stmt s2;
+    s2.write = simple_ref(d, 2, {{1, 0}, {0, 0}});
+    s2.reads = {simple_ref(d, 2, {{1, 0}, {0, 0}}),
+                simple_ref(b, 2, {{1, 0}, {0, 0}}),
+                simple_ref(d, 2, {{1, -1}, {0, 0}})};
+    s2.compute_cycles = 2;
+    s2.eval = [](std::span<const double> r) { return r[0] - r[1] * r[2]; };
+    nest.stmts.push_back(std::move(s2));
+  }
+  {
+    // Forward substitution on the 3-D array: J and K parallel, I
+    // recurrent.
+    LoopNest& nest = pb.nest("fwd3d", 1);
+    nest.loops.push_back(loop("J", cst(0), cst(n - 1)));
+    nest.loops.push_back(loop("K", cst(0), cst(2)));
+    nest.loops.push_back(loop("I", cst(2), cst(n - 1)));
+    Stmt s;
+    s.write = simple_ref(f, 3, {{2, 0}, {0, 0}, {1, 0}});
+    s.reads = {simple_ref(f, 3, {{2, 0}, {0, 0}, {1, 0}}),
+               simple_ref(b, 3, {{2, 0}, {0, 0}}),
+               simple_ref(f, 3, {{2, -1}, {0, 0}, {1, 0}}),
+               simple_ref(c, 3, {{2, 0}, {0, 0}}),
+               simple_ref(f, 3, {{2, -2}, {0, 0}, {1, 0}})};
+    s.compute_cycles = 4;
+    s.eval = [](std::span<const double> r) {
+      return r[0] - r[1] * r[2] - r[3] * r[4];
+    };
+    nest.stmts.push_back(std::move(s));
+  }
+  {
+    // Backward substitution: descending I encoded with a reversed
+    // subscript (coefficient -1).
+    LoopNest& nest = pb.nest("back3d", 1);
+    nest.loops.push_back(loop("J", cst(0), cst(n - 1)));
+    nest.loops.push_back(loop("K", cst(0), cst(2)));
+    nest.loops.push_back(loop("Ir", cst(0), cst(n - 3)));
+    auto rev = [&](Int off) {
+      ArrayRef r;
+      r.array = f;
+      r.access = linalg::IntMatrix(3, 3);
+      r.access.at(0, 2) = -1;  // dim0 = (n-3) - Ir + off
+      r.access.at(1, 0) = 1;   // dim1 = J
+      r.access.at(2, 1) = 1;   // dim2 = K
+      r.offset = {n - 3 + off, 0, 0};
+      return r;
+    };
+    Stmt s;
+    s.write = rev(0);
+    ArrayRef dref;
+    dref.array = d;
+    dref.access = linalg::IntMatrix(2, 3);
+    dref.access.at(0, 2) = -1;
+    dref.access.at(1, 0) = 1;
+    dref.offset = {n - 3, 0};
+    s.reads = {rev(0), dref, rev(1)};
+    s.compute_cycles = 2;
+    s.eval = [](std::span<const double> r) { return r[0] - r[1] * r[2]; };
+    nest.stmts.push_back(std::move(s));
+  }
+  return pb.build();
+}
+
+}  // namespace dct::apps

@@ -1,0 +1,203 @@
+#include "codegen/codegen.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/str.hpp"
+
+namespace dct::codegen {
+
+using core::CompiledProgram;
+using core::CompiledRef;
+using core::CoordFold;
+using decomp::DistKind;
+
+namespace {
+
+std::string loop_var(int level) { return strf("i%d", level); }
+
+/// Render an affine expression over loop variables.
+std::string affine(const linalg::Vec& coeffs, linalg::Int constant) {
+  std::ostringstream os;
+  bool any = false;
+  for (size_t k = 0; k < coeffs.size(); ++k) {
+    if (coeffs[k] == 0) continue;
+    if (any && coeffs[k] > 0) os << " + ";
+    if (coeffs[k] < 0) os << (any ? " - " : "-");
+    const linalg::Int mag = std::abs(coeffs[k]);
+    if (mag != 1) os << mag << "*";
+    os << loop_var(static_cast<int>(k));
+    any = true;
+  }
+  if (constant != 0 || !any) {
+    if (any) os << (constant >= 0 ? " + " : " - ");
+    os << std::abs(constant);
+  }
+  return os.str();
+}
+
+/// Subscript of one original array dimension of a compiled reference.
+std::string subscript(const CompiledRef& ref, int row, int depth) {
+  linalg::Vec coeffs(static_cast<size_t>(depth));
+  for (int k = 0; k < depth; ++k)
+    coeffs[static_cast<size_t>(k)] =
+        ref.coeffs[static_cast<size_t>(row) * static_cast<size_t>(depth) +
+                   static_cast<size_t>(k)];
+  return affine(coeffs, ref.offsets[static_cast<size_t>(row)]);
+}
+
+/// Linearized address expression of a reference through a layout, using
+/// the layout's closed-form dimension functions. Strategy Naive spells
+/// out the mod/div; Optimized names the strength-reduced counters the
+/// preamble maintains.
+std::string address(const CompiledProgram& cp, const CompiledRef& ref,
+                    int depth) {
+  const core::CompiledArray& ca = cp.arrays[static_cast<size_t>(ref.array)];
+  const auto& fns = ca.layout.dim_functions();
+  std::ostringstream os;
+  linalg::Int stride = 1;
+  bool any = false;
+  for (size_t k = 0; k < fns.size(); ++k) {
+    const auto& f = fns[k];
+    std::string term = subscript(ref, f.src, depth);
+    const bool transformed = f.div != 1 || f.mod != 0;
+    if (transformed && cp.strategy == layout::AddrStrategy::Optimized) {
+      // The strength-reduced counters of Section 4.3.
+      term = strf("%s_c%zu", cp.program.arrays[static_cast<size_t>(ref.array)]
+                                 .name.c_str(),
+                  k);
+    } else {
+      if (f.div != 1) term = strf("(%s)/%lld", term.c_str(),
+                                  static_cast<long long>(f.div));
+      if (f.mod != 0)
+        term = strf("%s%%%lld",
+                    (f.div != 1 ? term : "(" + term + ")").c_str(),
+                    static_cast<long long>(f.mod));
+    }
+    if (any) os << " + ";
+    if (stride != 1) os << stride << "*";
+    os << (transformed || stride != 1 ? "(" + term + ")" : term);
+    stride *= ca.layout.dims()[k];
+    any = true;
+  }
+  return os.str();
+}
+
+std::string ref_text(const CompiledProgram& cp, const CompiledRef& ref,
+                     int depth) {
+  const auto& decl = cp.program.arrays[static_cast<size_t>(ref.array)];
+  const core::CompiledArray& ca = cp.arrays[static_cast<size_t>(ref.array)];
+  if (ca.layout.is_identity()) {
+    std::string subs;
+    for (int r = 0; r < ref.rank; ++r)
+      subs += (r ? ", " : "") + subscript(ref, r, depth);
+    return decl.name + "(" + subs + ")";
+  }
+  return decl.name + "[" + address(cp, ref, depth) + "]";
+}
+
+}  // namespace
+
+std::string emit_nest(const CompiledProgram& cp, int nest_index) {
+  const core::CompiledNest& cn = cp.nests[static_cast<size_t>(nest_index)];
+  const int depth = static_cast<int>(cn.nest.loops.size());
+  std::ostringstream os;
+
+  // Which loops are rewritten by the schedule? Use the first statement's
+  // owner mapping (the dominant one for display purposes).
+  std::vector<const CoordFold*> fold_of(static_cast<size_t>(depth), nullptr);
+  if (!cn.stmts.empty())
+    for (const auto& [loop, fold] : cn.stmts.front().owner)
+      fold_of[static_cast<size_t>(loop)] = &fold;
+
+  for (int l = 0; l < depth; ++l) {
+    const ir::Loop& lp = cn.nest.loops[static_cast<size_t>(l)];
+    std::string lo, hi;
+    for (const ir::Bound& b : lp.lowers) {
+      std::string e = affine(b.expr.coeffs, b.expr.constant);
+      if (b.divisor != 1)
+        e = strf("ceil((%s)/%lld)", e.c_str(),
+                 static_cast<long long>(b.divisor));
+      lo = lo.empty() ? e : "max(" + lo + ", " + e + ")";
+    }
+    for (const ir::Bound& b : lp.uppers) {
+      std::string e = affine(b.expr.coeffs, b.expr.constant);
+      if (b.divisor != 1)
+        e = strf("floor((%s)/%lld)", e.c_str(),
+                 static_cast<long long>(b.divisor));
+      hi = hi.empty() ? e : "min(" + hi + ", " + e + ")";
+    }
+    const std::string indent(static_cast<size_t>(2 * (l + 1)), ' ');
+    const CoordFold* f = fold_of[static_cast<size_t>(l)];
+    if (f == nullptr || f->procs <= 1) {
+      os << indent << strf("for (%s = %s; %s <= %s; %s++) {\n",
+                           loop_var(l).c_str(), lo.c_str(),
+                           loop_var(l).c_str(), hi.c_str(),
+                           loop_var(l).c_str());
+    } else if (f->kind == DistKind::Cyclic) {
+      os << indent
+         << strf("for (%s = max(%s, first_ge(%s, myid%%%d)); %s <= %s; "
+                 "%s += %d) {  /* CYCLIC over %d procs */\n",
+                 loop_var(l).c_str(), lo.c_str(), lo.c_str(), f->procs,
+                 loop_var(l).c_str(), hi.c_str(), loop_var(l).c_str(),
+                 f->procs, f->procs);
+    } else {
+      os << indent
+         << strf("for (%s = max(%s, %lld*myid); %s <= min(%s, %lld*myid + "
+                 "%lld); %s++) {  /* BLOCK over %d procs */\n",
+                 loop_var(l).c_str(), lo.c_str(),
+                 static_cast<long long>(f->block), loop_var(l).c_str(),
+                 hi.c_str(), static_cast<long long>(f->block),
+                 static_cast<long long>(f->block - 1), loop_var(l).c_str(),
+                 f->procs);
+    }
+  }
+
+  for (const core::CompiledStmt& cs : cn.stmts) {
+    const std::string indent(static_cast<size_t>(2 * (cs.depth + 1)), ' ');
+    std::string rhs;
+    for (size_t r = 0; r < cs.reads.size(); ++r)
+      rhs += (r ? ", " : "") + ref_text(cp, cs.reads[r], depth);
+    if (!cs.writes.empty())
+      os << indent << ref_text(cp, cs.writes[0], depth) << " = f(" << rhs
+         << ");\n";
+  }
+  for (int l = depth - 1; l >= 0; --l)
+    os << std::string(static_cast<size_t>(2 * (l + 1)), ' ') << "}\n";
+  if (cn.barrier_after) os << "  barrier();\n";
+  return os.str();
+}
+
+std::string emit_program(const CompiledProgram& cp) {
+  std::ostringstream os;
+  os << "/* " << cp.program.name << " — " << core::to_string(cp.mode)
+     << ", P = " << cp.procs << " */\n";
+  for (size_t a = 0; a < cp.arrays.size(); ++a) {
+    const auto& decl = cp.program.arrays[a];
+    const auto& ca = cp.arrays[a];
+    if (ca.layout.is_identity()) {
+      os << strf("%s %s", decl.elem_size == 8 ? "double" : "float",
+                 decl.name.c_str());
+      for (auto it = decl.dims.rbegin(); it != decl.dims.rend(); ++it)
+        os << strf("[%lld]", static_cast<long long>(*it));
+    } else {
+      os << strf("%s %s[%lld]  /* restructured: %s */",
+                 decl.elem_size == 8 ? "double" : "float", decl.name.c_str(),
+                 static_cast<long long>(ca.layout.size()),
+                 ca.layout.to_string().c_str());
+    }
+    os << (ca.replicated ? ";  /* replicated per cluster */\n" : ";\n");
+  }
+  os << "\nvoid spmd_main(int myid) {\n";
+  if (cp.program.time_steps > 1)
+    os << strf("  for (int t = 0; t < %d; t++) {\n", cp.program.time_steps);
+  for (size_t j = 0; j < cp.nests.size(); ++j) {
+    os << "  /* nest " << cp.program.nests[j].name << " */\n"
+       << emit_nest(cp, static_cast<int>(j));
+  }
+  if (cp.program.time_steps > 1) os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dct::codegen

@@ -1,0 +1,29 @@
+// SPMD code generation (presentation form).
+//
+// The compiler pipeline's output in the paper is C code with calls to a
+// run-time library; the transformed arrays are declared linear and
+// accessed through linearized subscripts whose mod/div operations are
+// removed by the Section 4.3 optimizations. This module emits that code
+// shape for a compiled program — the executable semantics live in
+// runtime::simulate; this rendering is for inspection, documentation and
+// tests (it reproduces the paper's Section 4.3 examples).
+#pragma once
+
+#include <string>
+
+#include "core/compiler.hpp"
+
+namespace dct::codegen {
+
+/// Emit SPMD pseudo-C for one compiled nest: the distributed loops are
+/// rewritten per the computation decomposition (BLOCK bounds / CYCLIC
+/// strides over `myid`), transformed array references are linearized, and
+/// the address calculations follow the compiled strategy (naive mod/div,
+/// hoisted, or strength-reduced counters).
+std::string emit_nest(const core::CompiledProgram& cp, int nest_index);
+
+/// Emit the whole program: array declarations (with restructured extents)
+/// plus every nest, separated by the synchronization the schedule needs.
+std::string emit_program(const core::CompiledProgram& cp);
+
+}  // namespace dct::codegen

@@ -1,0 +1,101 @@
+// The integrated compiler (the paper's primary contribution, end to end):
+// parallelization + computation/data decomposition (Section 3) composed
+// with data-layout transformation and address-calculation optimization
+// (Section 4), targeting a simulated DASH-class machine.
+//
+// Three configurations mirror the evaluation (Section 6.1):
+//   Base          — per-nest parallelization of the outermost parallel
+//                   loop, block-distributed; original layouts; a barrier
+//                   after every nest.
+//   CompDecomp    — the global decomposition algorithm; original layouts.
+//   Full          — CompDecomp plus array restructuring (the paper's
+//                   "comp decomp + data transform").
+#pragma once
+
+#include <vector>
+
+#include "decomp/decomposition.hpp"
+#include "ir/program.hpp"
+#include "layout/layout.hpp"
+
+namespace dct::core {
+
+using linalg::Int;
+
+enum class Mode { Base, CompDecomp, Full };
+std::string to_string(Mode mode);
+
+/// Folding of one virtual processor dimension onto physical ranks.
+struct CoordFold {
+  decomp::DistKind kind = decomp::DistKind::Serial;
+  int procs = 1;    ///< grid extent of this dimension
+  Int block = 1;    ///< BLOCK / BLOCK-CYCLIC block size
+  Int offset = 0;   ///< subtracted before folding (Base: loop lower bound)
+  int stride = 1;   ///< mixed-radix stride within the clique
+
+  int fold(Int v) const;  ///< physical coordinate of value v
+};
+
+struct CompiledArray {
+  layout::Layout layout;      ///< identity unless Full restructures it
+  Int base_addr = 0;          ///< byte address of (first copy of) the array
+  Int bytes = 0;              ///< allocated bytes per copy
+  bool replicated = false;    ///< one copy per cluster
+  layout::Partition part;     ///< ownership folding (element -> coords)
+};
+
+struct CompiledRef {
+  int array = -1;
+  bool is_write = false;
+  int rank = 0;
+  std::vector<Int> coeffs;   ///< rank x depth, row-major
+  std::vector<Int> offsets;  ///< rank
+  double addr_overhead = 0;  ///< cycles per access (Section 4.3 model)
+};
+
+struct CompiledStmt {
+  int depth = 0;  ///< executes once per iteration of the outer `depth` loops
+  double compute_cycles = 0;
+  std::function<double(std::span<const double>)> eval;
+  std::vector<CompiledRef> reads;
+  std::vector<CompiledRef> writes;  ///< 0 or 1
+  /// Owner mapping: pairs of (loop level, fold). Empty = run on proc 0.
+  std::vector<std::pair<int, CoordFold>> owner;
+};
+
+struct CompiledNest {
+  ir::LoopNest nest;  ///< the transformed nest
+  std::vector<CompiledStmt> stmts;
+  bool barrier_after = true;
+};
+
+struct CompiledProgram {
+  ir::Program program;  ///< original program (arrays and sizes)
+  Mode mode = Mode::Base;
+  int procs = 1;
+  layout::AddrStrategy strategy = layout::AddrStrategy::Optimized;
+  decomp::ProgramDecomposition dec;
+  std::vector<int> grid;  ///< physical extent per virtual dimension
+  std::vector<CompiledArray> arrays;
+  std::vector<CompiledNest> nests;
+
+  std::string report() const;  ///< human-readable compilation summary
+};
+
+/// Run the full pipeline for `procs` processors. The processor count is a
+/// compile-time input exactly as in the paper's generated SPMD code
+/// (block sizes are ceil(d/P)).
+CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
+                        layout::AddrStrategy strategy =
+                            layout::AddrStrategy::Optimized);
+
+/// Compile with an externally supplied decomposition (ablation studies,
+/// HPF-directed decompositions): layouts, folds and schedules are derived
+/// from `dec` exactly as `compile` does from its own analysis. `mode`
+/// controls only whether layouts are restructured (Full) or kept (others).
+CompiledProgram compile_with_decomposition(
+    const ir::Program& prog, decomp::ProgramDecomposition dec, Mode mode,
+    int procs,
+    layout::AddrStrategy strategy = layout::AddrStrategy::Optimized);
+
+}  // namespace dct::core

@@ -1,0 +1,120 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace dct::core {
+
+SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
+  SweepResult out;
+  out.procs = opts.procs;
+  out.modes = opts.modes;
+
+  runtime::ExecOptions eopts;
+  eopts.collect_values = false;
+
+  // Best sequential version: BASE on one processor.
+  {
+    const CompiledProgram cp =
+        compile(prog, Mode::Base, 1, opts.strategy);
+    out.seq_cycles =
+        runtime::simulate(cp, machine::MachineConfig::dash(1), eopts).cycles;
+  }
+
+  if (opts.verify) {
+    const auto reference = runtime::run_reference(prog);
+    for (Mode mode : opts.modes) {
+      const CompiledProgram cp = compile(prog, mode, 4, opts.strategy);
+      runtime::ExecOptions vopts;
+      const auto r =
+          runtime::simulate(cp, machine::MachineConfig::dash(4), vopts);
+      DCT_CHECK(r.values == reference,
+                prog.name + ": transformed program changed results");
+    }
+  }
+
+  for (Mode mode : opts.modes) {
+    std::vector<double> series;
+    runtime::RunResult last;
+    for (int p : opts.procs) {
+      const CompiledProgram cp = compile(prog, mode, p, opts.strategy);
+      last = runtime::simulate(cp, machine::MachineConfig::dash(p), eopts);
+      series.push_back(out.seq_cycles / last.cycles);
+    }
+    out.speedups.push_back(std::move(series));
+    out.mem_at_max.push_back(last.mem);
+    out.raw_at_max.push_back(std::move(last));
+  }
+  return out;
+}
+
+std::string render_sweep(const std::string& title, const SweepResult& r) {
+  std::ostringstream os;
+  std::vector<Series> series;
+  for (size_t m = 0; m < r.modes.size(); ++m)
+    series.push_back(Series{to_string(r.modes[m]), r.speedups[m]});
+  os << render_speedup_chart(title, r.procs, series) << "\n";
+
+  std::vector<std::string> header = {"procs"};
+  for (Mode m : r.modes) header.push_back(to_string(m));
+  Table t(header);
+  for (size_t i = 0; i < r.procs.size(); ++i) {
+    std::vector<std::string> row = {strf("%d", r.procs[i])};
+    for (size_t m = 0; m < r.modes.size(); ++m)
+      row.push_back(strf("%.2f", r.speedups[m][i]));
+    t.add_row(std::move(row));
+  }
+  os << t.to_string();
+
+  os << "memory behaviour at P=" << r.procs.back() << ":\n";
+  for (size_t m = 0; m < r.modes.size(); ++m)
+    os << "  " << to_string(r.modes[m]) << ": "
+       << r.mem_at_max[m].to_string() << "\n";
+  return os.str();
+}
+
+Table1Row table1_row(const std::string& name, const ir::Program& prog,
+                     int procs) {
+  SweepOptions opts;
+  opts.procs = {procs};
+  opts.verify = false;
+  const SweepResult r = run_sweep(prog, opts);
+  Table1Row row;
+  row.program = name;
+  row.base_speedup = r.speedups[0][0];
+  const double cd = r.speedups[1][0];
+  row.full_speedup = r.speedups[2][0];
+  // "Critical" as in the paper's Table 1: the technique accounts for a
+  // substantial part of the final improvement.
+  row.comp_decomp_critical = cd >= 1.2 * row.base_speedup ||
+                             row.full_speedup >= 1.5 * row.base_speedup;
+  row.data_transform_critical = row.full_speedup >= 1.2 * cd;
+
+  const decomp::ProgramDecomposition dec = decomp::decompose(prog);
+  std::vector<std::string> decs;
+  for (size_t a = 0; a < prog.arrays.size(); ++a) {
+    if (dec.arrays[a].replicated ||
+        dec.arrays[a].distributed_count() == 0)
+      continue;
+    decs.push_back(prog.arrays[a].name + dec.arrays[a].hpf_string());
+  }
+  row.decompositions = join(decs, " ");
+  return row;
+}
+
+std::string render_table1(const std::vector<Table1Row>& rows) {
+  Table t({"Program", "Base", "Fully Optimized", "Comp Decomp",
+           "Data Transform", "Data Decompositions"});
+  for (const Table1Row& r : rows)
+    t.add_row({r.program, strf("%.1f", r.base_speedup),
+               strf("%.1f", r.full_speedup),
+               r.comp_decomp_critical ? "yes" : "-",
+               r.data_transform_critical ? "yes" : "-", r.decompositions});
+  return t.to_string();
+}
+
+}  // namespace dct::core

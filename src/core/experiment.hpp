@@ -1,0 +1,56 @@
+// Experiment harness shared by the benchmark binaries: runs a program
+// under the three compiler configurations of the paper's evaluation
+// across a processor sweep and renders paper-style speedup figures and
+// summary tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "machine/machine.hpp"
+#include "runtime/executor.hpp"
+
+namespace dct::core {
+
+struct SweepOptions {
+  std::vector<int> procs = {1, 2, 4, 8, 16, 24, 32};
+  std::vector<Mode> modes = {Mode::Base, Mode::CompDecomp, Mode::Full};
+  layout::AddrStrategy strategy = layout::AddrStrategy::Optimized;
+  bool verify = true;  ///< check bit-exact semantics on the smallest run
+};
+
+struct SweepResult {
+  std::vector<int> procs;
+  double seq_cycles = 0;  ///< best sequential version (BASE on 1 processor)
+  /// speedups[m][p] for mode m over the processor sweep.
+  std::vector<std::vector<double>> speedups;
+  std::vector<Mode> modes;
+  /// Memory statistics of the largest-P run per mode.
+  std::vector<machine::ProcStats> mem_at_max;
+  std::vector<runtime::RunResult> raw_at_max;
+};
+
+/// Run the full sweep. The paper's speedups are "calculated over the best
+/// sequential version": we use the BASE compilation on one processor.
+SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts = {});
+
+/// Render the sweep as a paper-style figure (ASCII chart) plus the exact
+/// numbers in a table.
+std::string render_sweep(const std::string& title, const SweepResult& r);
+
+/// One row of the paper's Table 1.
+struct Table1Row {
+  std::string program;
+  double base_speedup = 0;
+  double full_speedup = 0;
+  bool comp_decomp_critical = false;
+  bool data_transform_critical = false;
+  std::string decompositions;
+};
+
+Table1Row table1_row(const std::string& name, const ir::Program& prog,
+                     int procs = 32);
+std::string render_table1(const std::vector<Table1Row>& rows);
+
+}  // namespace dct::core

@@ -1,0 +1,736 @@
+#include "decomp/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/str.hpp"
+
+namespace dct::decomp {
+
+using dep::ParallelizedNest;
+using ir::ArrayRef;
+using ir::LoopNest;
+using ir::Program;
+using linalg::Vec;
+
+std::string to_string(DistKind kind) {
+  switch (kind) {
+    case DistKind::Serial: return "*";
+    case DistKind::Block: return "BLOCK";
+    case DistKind::Cyclic: return "CYCLIC";
+    case DistKind::BlockCyclic: return "BLOCK-CYCLIC";
+  }
+  return "?";
+}
+
+int ArrayDecomposition::distributed_count() const {
+  int n = 0;
+  for (const auto& d : dims)
+    if (d.kind != DistKind::Serial) ++n;
+  return n;
+}
+
+std::string ArrayDecomposition::hpf_string() const {
+  if (replicated) return "(replicated)";
+  std::vector<std::string> parts;
+  for (const auto& d : dims) parts.push_back(to_string(d.kind));
+  return "(" + join(parts, ", ") + ")";
+}
+
+std::vector<int> factor_grid(int p, int dims) {
+  std::vector<int> grid(static_cast<size_t>(std::max(dims, 1)), 1);
+  if (dims <= 1) {
+    grid[0] = p;
+    return grid;
+  }
+  int best = 1;
+  for (int f = 1; f * f <= p; ++f)
+    if (p % f == 0) best = f;
+  grid[0] = p / best;
+  grid[1] = best;
+  return grid;
+}
+
+std::vector<int> ProgramDecomposition::grid_extents(int procs) const {
+  std::vector<int> out(static_cast<size_t>(num_proc_dims), procs);
+  for (int i = 0; i < num_proc_dims; ++i) {
+    const auto grid = factor_grid(procs, clique_size[static_cast<size_t>(i)]);
+    out[static_cast<size_t>(i)] =
+        grid[static_cast<size_t>(clique_pos[static_cast<size_t>(i)])];
+  }
+  return out;
+}
+
+namespace {
+
+constexpr int kConst = -1;    ///< dimension subscript is a constant
+constexpr int kComplex = -2;  ///< subscript not a single unit loop variable
+
+/// Classify one subscript row: the single loop variable indexing it (with
+/// coefficient ±1), kConst, or kComplex.
+int classify_row(const linalg::IntMatrix& access, int row) {
+  int loop = kConst;
+  for (int c = 0; c < access.cols(); ++c) {
+    const Int v = access.at(row, c);
+    if (v == 0) continue;
+    if (loop != kConst) return kComplex;  // two loop variables
+    if (v != 1 && v != -1) return kComplex;
+    loop = c;
+  }
+  return loop;
+}
+
+struct RefInfo {
+  int array = -1;
+  bool is_write = false;
+  std::vector<int> dim_loop;    ///< per array dim: loop / kConst / kComplex
+  std::vector<Int> dim_offset;  ///< per array dim subscript offset
+  double elems = 0;             ///< distinct elements touched x frequency
+};
+
+struct StmtInfo {
+  std::vector<RefInfo> refs;  ///< write (if any) first
+  int write_index = -1;       ///< index of the write in refs, or -1
+  double exec = 0;            ///< dynamic executions x frequency
+};
+
+struct NestInfo {
+  std::vector<StmtInfo> stmts;
+  std::vector<double> span;  ///< hull span per loop (>= 1)
+  double iters = 1;          ///< approximate iteration count
+};
+
+NestInfo gather_nest_info(const ParallelizedNest& par, long frequency) {
+  NestInfo info;
+  const dep::Hull hull = dep::iteration_hull(par.nest);
+  const int d = par.nest.depth();
+  info.span.resize(static_cast<size_t>(d), 1.0);
+  info.iters = 1.0;
+  for (int k = 0; k < d; ++k) {
+    const double s =
+        hull.empty ? 0.0
+                   : static_cast<double>(hull.hi[static_cast<size_t>(k)] -
+                                         hull.lo[static_cast<size_t>(k)] + 1);
+    info.span[static_cast<size_t>(k)] = std::max(1.0, s);
+    info.iters *= info.span[static_cast<size_t>(k)];
+  }
+
+  for (const ir::Stmt& s : par.nest.stmts) {
+    StmtInfo si;
+    const int sd = s.effective_depth(d);
+    si.exec = static_cast<double>(frequency);
+    for (int k = 0; k < sd; ++k) si.exec *= info.span[static_cast<size_t>(k)];
+
+    auto make_ref = [&](const ArrayRef& r, bool is_write) {
+      RefInfo ri;
+      ri.array = r.array;
+      ri.is_write = is_write;
+      ri.dim_loop.resize(static_cast<size_t>(r.access.rows()));
+      ri.dim_offset = r.offset;
+      std::vector<bool> varying(static_cast<size_t>(d), false);
+      for (int row = 0; row < r.access.rows(); ++row) {
+        ri.dim_loop[static_cast<size_t>(row)] = classify_row(r.access, row);
+        for (int c = 0; c < r.access.cols(); ++c)
+          if (r.access.at(row, c) != 0) varying[static_cast<size_t>(c)] = true;
+      }
+      ri.elems = static_cast<double>(frequency);
+      for (int k = 0; k < d; ++k)
+        if (varying[static_cast<size_t>(k)])
+          ri.elems *= info.span[static_cast<size_t>(k)];
+      return ri;
+    };
+    if (s.write) {
+      si.refs.push_back(make_ref(*s.write, true));
+      si.write_index = 0;
+    }
+    for (const ArrayRef& r : s.reads) si.refs.push_back(make_ref(r, false));
+    info.stmts.push_back(std::move(si));
+  }
+  return info;
+}
+
+/// Union-find over (array, dim) nodes, refusing unions that would place
+/// two dimensions of the same array in one group (each array dimension
+/// maps to a distinct virtual processor dimension).
+class AlignmentGroups {
+ public:
+  explicit AlignmentGroups(const Program& prog) {
+    base_.push_back(0);
+    for (const auto& a : prog.arrays)
+      base_.push_back(base_.back() + static_cast<int>(a.dims.size()));
+    parent_.resize(static_cast<size_t>(base_.back()));
+    std::iota(parent_.begin(), parent_.end(), 0);
+    arrays_.resize(parent_.size());
+    for (int n = 0; n < base_.back(); ++n)
+      arrays_[static_cast<size_t>(n)] = {array_of(n)};
+  }
+
+  int node_id(int array, int dim) const {
+    return base_[static_cast<size_t>(array)] + dim;
+  }
+  int array_of(int node) const {
+    int a = 0;
+    while (base_[static_cast<size_t>(a) + 1] <= node) ++a;
+    return a;
+  }
+  int dim_of(int node) const {
+    return node - base_[static_cast<size_t>(array_of(node))];
+  }
+  int find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x)
+      x = parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+    return x;
+  }
+  bool unite(int a, int b) {
+    const int ra = find(a), rb = find(b);
+    if (ra == rb) return true;
+    std::vector<int> common;
+    std::set_intersection(arrays_[static_cast<size_t>(ra)].begin(),
+                          arrays_[static_cast<size_t>(ra)].end(),
+                          arrays_[static_cast<size_t>(rb)].begin(),
+                          arrays_[static_cast<size_t>(rb)].end(),
+                          std::back_inserter(common));
+    if (!common.empty()) return false;
+    parent_[static_cast<size_t>(ra)] = rb;
+    arrays_[static_cast<size_t>(rb)].insert(
+        arrays_[static_cast<size_t>(ra)].begin(),
+        arrays_[static_cast<size_t>(ra)].end());
+    return true;
+  }
+  int num_nodes() const { return base_.back(); }
+
+ private:
+  std::vector<int> base_;
+  std::vector<int> parent_;
+  std::vector<std::set<int>> arrays_;
+};
+
+/// Evaluation of one nest under one candidate view (subset of active
+/// groups the nest's computation actually follows).
+struct NestEval {
+  std::vector<int> honored;            ///< group ids driving this nest
+  std::vector<int> honored_loop;       ///< driving loop per honored group
+  std::vector<LoopSched> honored_sched;
+  std::vector<std::map<int, int>> stmt_loops;  ///< per stmt: group -> loop
+  double comm = 0;
+  double boundary = 0;
+  double parallelism = 1;
+  double score = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The decomposition algorithm
+// ---------------------------------------------------------------------------
+
+ProgramDecomposition decompose(const Program& prog, const DecompOptions& opts) {
+  ProgramDecomposition out;
+  const int nnests = static_cast<int>(prog.nests.size());
+  for (const LoopNest& nest : prog.nests)
+    out.par.push_back(dep::parallelize(nest));
+
+  std::vector<NestInfo> info;
+  for (int j = 0; j < nnests; ++j)
+    info.push_back(
+        gather_nest_info(out.par[static_cast<size_t>(j)],
+                         prog.nests[static_cast<size_t>(j)].frequency));
+
+  AlignmentGroups ag(prog);
+  const int nnodes = ag.num_nodes();
+
+  // Read-only arrays are replicated (paper: "Read-only and seldom-written
+  // data can be replicated"); they take no part in alignment.
+  std::vector<bool> written(prog.arrays.size(), false);
+  for (const auto& ni : info)
+    for (const StmtInfo& si : ni.stmts)
+      for (const RefInfo& r : si.refs)
+        if (r.is_write) written[static_cast<size_t>(r.array)] = true;
+
+  // Nodes with complex subscripts anywhere cannot be distributed under the
+  // single-dimension restriction (paper 4.2).
+  std::vector<bool> poisoned(static_cast<size_t>(nnodes), false);
+  for (const auto& ni : info)
+    for (const StmtInfo& si : ni.stmts)
+      for (const RefInfo& r : si.refs)
+        for (size_t k = 0; k < r.dim_loop.size(); ++k)
+          if (r.dim_loop[k] == kComplex)
+            poisoned[static_cast<size_t>(
+                ag.node_id(r.array, static_cast<int>(k)))] = true;
+
+  // Alignment: in each nest, dimensions indexed by the same loop are
+  // aligned when a write participates (owner-computes locality) or the
+  // reads belong to different arrays. Same-array read-read pairs (the LU
+  // pivot A(k,k)) represent broadcast traffic, not alignment.
+  for (int j = 0; j < nnests; ++j) {
+    const int d = out.par[static_cast<size_t>(j)].nest.depth();
+    for (int l = 0; l < d; ++l) {
+      std::vector<std::pair<int, bool>> on_loop;  // (node, is_write)
+      for (const StmtInfo& si : info[static_cast<size_t>(j)].stmts)
+        for (const RefInfo& r : si.refs) {
+          if (!written[static_cast<size_t>(r.array)]) continue;
+          for (size_t k = 0; k < r.dim_loop.size(); ++k)
+            if (r.dim_loop[k] == l)
+              on_loop.push_back(
+                  {ag.node_id(r.array, static_cast<int>(k)), r.is_write});
+        }
+      for (size_t a = 0; a < on_loop.size(); ++a)
+        for (size_t b = a + 1; b < on_loop.size(); ++b) {
+          const bool any_write = on_loop[a].second || on_loop[b].second;
+          const bool same_array = ag.array_of(on_loop[a].first) ==
+                                  ag.array_of(on_loop[b].first);
+          if (any_write || !same_array)
+            ag.unite(on_loop[a].first, on_loop[b].first);
+        }
+    }
+  }
+
+  // Candidate groups: roots of distributable nodes of written arrays.
+  std::vector<int> group_of(static_cast<size_t>(nnodes), -1);
+  std::vector<int> groups;  // representative node per group
+  for (int n = 0; n < nnodes; ++n) {
+    if (!written[static_cast<size_t>(ag.array_of(n))]) continue;
+    const int root = ag.find(n);
+    if (poisoned[static_cast<size_t>(n)] || poisoned[static_cast<size_t>(root)])
+      continue;
+    auto it = std::find(groups.begin(), groups.end(), root);
+    if (it == groups.end()) {
+      groups.push_back(root);
+      group_of[static_cast<size_t>(n)] = static_cast<int>(groups.size()) - 1;
+    } else {
+      group_of[static_cast<size_t>(n)] = static_cast<int>(it - groups.begin());
+    }
+  }
+  const int ngroups = static_cast<int>(groups.size());
+
+  // For tie-breaks: FORTRAN column-major locality prefers distributing
+  // higher (slower-varying) dimensions.
+  auto group_dim_sum = [&](int g) {
+    int sum = 0;
+    for (int n = 0; n < nnodes; ++n)
+      if (group_of[static_cast<size_t>(n)] == g) sum += ag.dim_of(n);
+    return sum;
+  };
+
+  // --- per-nest evaluation under an active-group set S ---
+  //
+  // The nest picks the "view" (subset of S it follows, one loop per group,
+  // at most max_proc_dims groups) minimizing its own cost; S-groups it
+  // does not follow but whose arrays it writes cost communication.
+  auto evaluate_nest = [&](int j, const std::vector<bool>& active) {
+    const ParallelizedNest& par = out.par[static_cast<size_t>(j)];
+    const NestInfo& ni = info[static_cast<size_t>(j)];
+    const double work =
+        ni.iters *
+        static_cast<double>(prog.nests[static_cast<size_t>(j)].frequency);
+
+    // Which active groups can this nest drive, and by which loop?
+    struct Drivable {
+      int group;
+      int loop;
+      LoopSched sched;
+      double grid1_par;  ///< parallel factor if sole driver
+    };
+    std::vector<Drivable> drivable;
+    std::vector<std::map<int, int>> stmt_loops(ni.stmts.size());
+    for (int g = 0; g < ngroups; ++g) {
+      if (!active[static_cast<size_t>(g)]) continue;
+      double dominant_exec = -1;
+      int dominant_loop = -1;
+      for (size_t s = 0; s < ni.stmts.size(); ++s) {
+        const StmtInfo& si = ni.stmts[s];
+        if (si.write_index < 0) continue;
+        const RefInfo& w = si.refs[static_cast<size_t>(si.write_index)];
+        for (size_t k = 0; k < w.dim_loop.size(); ++k)
+          if (group_of[static_cast<size_t>(
+                  ag.node_id(w.array, static_cast<int>(k)))] == g &&
+              w.dim_loop[k] >= 0) {
+            stmt_loops[s][g] = w.dim_loop[k];
+            if (si.exec > dominant_exec) {
+              dominant_exec = si.exec;
+              dominant_loop = w.dim_loop[k];
+            }
+          }
+      }
+      if (dominant_loop < 0) continue;
+      Drivable dr;
+      dr.group = g;
+      dr.loop = dominant_loop;
+      if (par.parallel[static_cast<size_t>(dominant_loop)])
+        dr.sched = LoopSched::Distributed;
+      else if (par.deps.pipelinable(dominant_loop))
+        dr.sched = LoopSched::Pipelined;
+      else
+        dr.sched = LoopSched::Sequential;
+      drivable.push_back(dr);
+    }
+
+    // Communication/boundary of a given honored set. Offsets along a
+    // pipelined dimension are not charged as boundary traffic — the
+    // pipeline efficiency factor already models that flow.
+    auto charge = [&](const std::vector<int>& honored,
+                      const std::vector<int>& honored_loops,
+                      const std::vector<LoopSched>& honored_scheds,
+                      double grid_each, double& comm, double& boundary) {
+      for (size_t s = 0; s < ni.stmts.size(); ++s) {
+        const StmtInfo& si = ni.stmts[s];
+        for (const RefInfo& r : si.refs) {
+          for (size_t k = 0; k < r.dim_loop.size(); ++k) {
+            const int g = group_of[static_cast<size_t>(
+                ag.node_id(r.array, static_cast<int>(k)))];
+            if (g < 0 || !active[static_cast<size_t>(g)]) continue;
+            const auto it =
+                std::find(honored.begin(), honored.end(), g);
+            if (it == honored.end()) {
+              // Array dimension distributed but computation not aligned.
+              comm += (r.is_write ? 1.0 : 0.5) * r.elems;
+              continue;
+            }
+            const int owner_loop = [&] {
+              const auto sit = stmt_loops[s].find(g);
+              if (sit != stmt_loops[s].end()) return sit->second;
+              return honored_loops[static_cast<size_t>(it - honored.begin())];
+            }();
+            const int l = r.dim_loop[k];
+            if (l >= 0 && l != owner_loop) {
+              comm += r.elems;
+            } else if (l == owner_loop && r.dim_offset[k] != 0 &&
+                       honored_scheds[static_cast<size_t>(it -
+                                                          honored.begin())] !=
+                           LoopSched::Pipelined) {
+              boundary += r.elems / ni.span[static_cast<size_t>(l)] *
+                          grid_each;
+            } else if (l == kConst && r.is_write) {
+              comm += r.elems;
+            }
+          }
+        }
+      }
+    };
+
+    // Enumerate views of size 0, 1 and 2.
+    NestEval best;
+    best.comm = 0;
+    best.boundary = 0;
+    charge({}, {}, {}, 1.0, best.comm, best.boundary);
+    best.stmt_loops = stmt_loops;
+    best.score = work + 16.0 * best.comm + 4.0 * best.boundary;
+
+    auto consider = [&](const std::vector<const Drivable*>& view) {
+      // Distinct driving loops required.
+      if (view.size() == 2 && view[0]->loop == view[1]->loop) return;
+      const auto grid = factor_grid(opts.procs, static_cast<int>(view.size()));
+      double par_factor = 1;
+      for (size_t i = 0; i < view.size(); ++i) {
+        const double extent = static_cast<double>(grid[i]);
+        if (view[i]->sched == LoopSched::Distributed)
+          par_factor *= extent;
+        else if (view[i]->sched == LoopSched::Pipelined)
+          par_factor *= 0.25 * extent;
+      }
+      NestEval ev;
+      std::vector<int> honored, honored_loops;
+      for (const Drivable* dr : view) {
+        honored.push_back(dr->group);
+        honored_loops.push_back(dr->loop);
+        ev.honored_sched.push_back(dr->sched);
+      }
+      charge(honored, honored_loops, ev.honored_sched,
+             static_cast<double>(grid[0]) / (view.size() == 2 ? 2.0 : 1.0),
+             ev.comm, ev.boundary);
+      ev.honored = honored;
+      ev.honored_loop = honored_loops;
+      ev.stmt_loops = stmt_loops;
+      ev.parallelism = par_factor;
+      // Communication and boundary traffic are also spread across the
+      // machine; everything is charged in per-processor time.
+      ev.score = (work + 16.0 * ev.comm + 4.0 * ev.boundary) /
+                 std::max(1.0, par_factor);
+      // Strict improvement, with a column-major tie-break.
+      const bool tie =
+          std::abs(ev.score - best.score) <=
+          1e-6 * std::max(std::abs(ev.score), std::abs(best.score));
+      int ev_dims = 0, best_dims = 0;
+      for (int g : ev.honored) ev_dims += group_dim_sum(g);
+      for (int g : best.honored) best_dims += group_dim_sum(g);
+      if ((!tie && ev.score < best.score) || (tie && ev_dims > best_dims))
+        best = std::move(ev);
+    };
+    for (const Drivable& a : drivable) consider({&a});
+    if (opts.max_proc_dims >= 2)
+      for (const Drivable& a : drivable)
+        for (const Drivable& b : drivable)
+          if (a.group != b.group) consider({&a, &b});
+    return best;
+  };
+
+  auto score_state = [&](const std::vector<bool>& active) {
+    double total = 0;
+    for (int j = 0; j < nnests; ++j) total += evaluate_nest(j, active).score;
+    return total;
+  };
+
+  // --- hill-climbing group selection (the paper's greedy, revisited as
+  // local search: start from "all serial" and activate/deactivate groups
+  // while the global cost estimate improves) ---
+  std::vector<bool> active(static_cast<size_t>(ngroups), false);
+  double cur = score_state(active);
+  if (std::getenv("DCT_DEBUG_DECOMP") != nullptr) {
+    fprintf(stderr, "[decomp] %s: %d groups, base score %.3g\n",
+            prog.name.c_str(), ngroups, cur);
+    for (int g = 0; g < ngroups; ++g) {
+      std::vector<bool> t(static_cast<size_t>(ngroups), false);
+      t[static_cast<size_t>(g)] = true;
+      fprintf(stderr, "[decomp]   group %d (node %d, arr %d dim %d): %.3g\n",
+              g, groups[static_cast<size_t>(g)],
+              ag.array_of(groups[static_cast<size_t>(g)]),
+              ag.dim_of(groups[static_cast<size_t>(g)]), score_state(t));
+    }
+  }
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    int best_flip = -1;
+    double best_sc = cur;
+    int best_dim_sum = -1;
+    for (int g = 0; g < ngroups; ++g) {
+      std::vector<bool> trial = active;
+      trial[static_cast<size_t>(g)] = !trial[static_cast<size_t>(g)];
+      const double sc = score_state(trial);
+      const bool tie = std::abs(sc - best_sc) <=
+                       1e-6 * std::max(std::abs(sc), std::abs(best_sc));
+      if ((!tie && sc < best_sc) ||
+          (tie && best_flip >= 0 && group_dim_sum(g) > best_dim_sum)) {
+        best_sc = sc;
+        best_flip = g;
+        best_dim_sum = group_dim_sum(g);
+      }
+    }
+    if (best_flip >= 0 && best_sc < cur * (1.0 - 1e-9)) {
+      active[static_cast<size_t>(best_flip)] =
+          !active[static_cast<size_t>(best_flip)];
+      cur = best_sc;
+      improved = true;
+    }
+  }
+
+  // --- build the final decomposition ---
+  std::vector<NestEval> evals;
+  for (int j = 0; j < nnests; ++j) evals.push_back(evaluate_nest(j, active));
+
+  // Virtual processor dimensions: one per active group actually honored by
+  // some nest.
+  std::vector<int> dim_of_group(static_cast<size_t>(ngroups), -1);
+  for (const NestEval& ev : evals)
+    for (int g : ev.honored)
+      if (dim_of_group[static_cast<size_t>(g)] < 0) {
+        dim_of_group[static_cast<size_t>(g)] = out.num_proc_dims++;
+      }
+
+  // Co-activity cliques for grid folding.
+  out.clique_size.assign(static_cast<size_t>(out.num_proc_dims), 1);
+  out.clique_pos.assign(static_cast<size_t>(out.num_proc_dims), 0);
+  out.clique_id.resize(static_cast<size_t>(out.num_proc_dims));
+  std::iota(out.clique_id.begin(), out.clique_id.end(), 0);
+  for (const NestEval& ev : evals) {
+    if (ev.honored.size() < 2) continue;
+    std::vector<int> dims;
+    for (int g : ev.honored) dims.push_back(dim_of_group[static_cast<size_t>(g)]);
+    std::sort(dims.begin(), dims.end());
+    for (size_t i = 0; i < dims.size(); ++i) {
+      auto& sz = out.clique_size[static_cast<size_t>(dims[i])];
+      sz = std::max(sz, static_cast<int>(dims.size()));
+      out.clique_pos[static_cast<size_t>(dims[i])] =
+          std::max(out.clique_pos[static_cast<size_t>(dims[i])],
+                   static_cast<int>(i));
+      out.clique_id[static_cast<size_t>(dims[i])] =
+          out.clique_id[static_cast<size_t>(dims[0])];
+    }
+  }
+
+  // Folding function per virtual dimension.
+  std::vector<DistKind> fold(static_cast<size_t>(out.num_proc_dims),
+                             DistKind::Block);
+
+  out.nests.resize(static_cast<size_t>(nnests));
+  for (int j = 0; j < nnests; ++j) {
+    const NestEval& ev = evals[static_cast<size_t>(j)];
+    const ParallelizedNest& par = out.par[static_cast<size_t>(j)];
+    NestDecomposition& nd = out.nests[static_cast<size_t>(j)];
+    nd.loops.assign(static_cast<size_t>(par.nest.depth()), LoopAssignment{});
+    nd.comm_free = ev.comm == 0;
+    nd.stmts.assign(par.nest.stmts.size(), StmtMapping{});
+    for (size_t s = 0; s < nd.stmts.size(); ++s) {
+      nd.stmts[s].loop_for_dim.assign(
+          static_cast<size_t>(out.num_proc_dims), -1);
+      for (const auto& [g, loop] : ev.stmt_loops[s]) {
+        const int pd = dim_of_group[static_cast<size_t>(g)];
+        if (pd >= 0) nd.stmts[s].loop_for_dim[static_cast<size_t>(pd)] = loop;
+      }
+    }
+    for (size_t i = 0; i < ev.honored.size(); ++i) {
+      const int g = ev.honored[i];
+      const int l = ev.honored_loop[i];
+      const int pd = dim_of_group[static_cast<size_t>(g)];
+      LoopAssignment& la = nd.loops[static_cast<size_t>(l)];
+      la.proc_dim = pd;
+      la.sched = ev.honored_sched[i];
+      // Load-balance test for the folding function: bounds of the
+      // distributed loop varying with outer loops, or inner bounds varying
+      // with it, mean triangular work.
+      bool varying = false;
+      const ir::Loop& lp = par.nest.loops[static_cast<size_t>(l)];
+      auto has_coeffs = [](const ir::Bound& b) {
+        return std::any_of(b.expr.coeffs.begin(), b.expr.coeffs.end(),
+                           [](Int c) { return c != 0; });
+      };
+      for (const ir::Bound& b : lp.lowers) varying |= has_coeffs(b);
+      for (const ir::Bound& b : lp.uppers) varying |= has_coeffs(b);
+      for (int k2 = l + 1; k2 < par.nest.depth(); ++k2) {
+        const ir::Loop& lp2 = par.nest.loops[static_cast<size_t>(k2)];
+        auto dep_on_l = [&](const ir::Bound& b) {
+          return static_cast<int>(b.expr.coeffs.size()) > l &&
+                 b.expr.coeffs[static_cast<size_t>(l)] != 0;
+        };
+        for (const ir::Bound& b : lp2.lowers) varying |= dep_on_l(b);
+        for (const ir::Bound& b : lp2.uppers) varying |= dep_on_l(b);
+      }
+      if (varying && la.sched == LoopSched::Distributed)
+        fold[static_cast<size_t>(pd)] = DistKind::Cyclic;
+      if (varying && la.sched == LoopSched::Pipelined &&
+          fold[static_cast<size_t>(pd)] == DistKind::Block)
+        fold[static_cast<size_t>(pd)] = DistKind::BlockCyclic;
+    }
+  }
+
+  // Barrier elimination [Tseng 95]: drop the barrier after nest j when no
+  // data can flow across processors into the next nest (cyclically,
+  // matching the time-loop steady state): both nests satisfy Eq. 1 for
+  // every reference (comm == 0), the next nest has no nearest-neighbour
+  // boundary reads (boundary == 0 — those cross owners), and both are
+  // pure doall schedules.
+  for (int j = 0; j < nnests && nnests > 1; ++j) {
+    const int next = (j + 1) % nnests;
+    const NestEval& a = evals[static_cast<size_t>(j)];
+    const NestEval& b = evals[static_cast<size_t>(next)];
+    const auto all_doall = [](const NestEval& e) {
+      return !e.honored.empty() &&
+             std::all_of(e.honored_sched.begin(), e.honored_sched.end(),
+                         [](LoopSched s) { return s == LoopSched::Distributed; });
+    };
+    if (a.comm == 0 && b.comm == 0 && b.boundary == 0 && all_doall(a) &&
+        all_doall(b))
+      out.nests[static_cast<size_t>(j)].barrier_after = false;
+  }
+
+  // Array decompositions.
+  out.arrays.resize(prog.arrays.size());
+  for (size_t a = 0; a < prog.arrays.size(); ++a) {
+    ArrayDecomposition& ad = out.arrays[a];
+    ad.dims.assign(prog.arrays[a].dims.size(), DimDistribution{});
+    if (!written[a]) {
+      ad.replicated = true;
+      continue;
+    }
+    for (size_t k = 0; k < ad.dims.size(); ++k) {
+      const int g = group_of[static_cast<size_t>(
+          ag.node_id(static_cast<int>(a), static_cast<int>(k)))];
+      if (g < 0 || !active[static_cast<size_t>(g)]) continue;
+      const int pd = dim_of_group[static_cast<size_t>(g)];
+      if (pd < 0) continue;
+      ad.dims[k].kind = fold[static_cast<size_t>(pd)];
+      ad.dims[k].proc_dim = pd;
+      if (ad.dims[k].kind == DistKind::BlockCyclic)
+        ad.dims[k].block = opts.block_cyclic_block;
+    }
+  }
+  return out;
+}
+
+ProgramDecomposition decompose_base(const Program& prog,
+                                    const DecompOptions& opts) {
+  (void)opts;
+  ProgramDecomposition out;
+  for (const LoopNest& nest : prog.nests)
+    out.par.push_back(dep::parallelize(nest));
+  out.num_proc_dims = 1;
+  out.clique_size = {1};
+  out.clique_id = {0};
+  out.clique_pos = {0};
+  out.nests.resize(prog.nests.size());
+  out.arrays.resize(prog.arrays.size());
+  for (size_t a = 0; a < prog.arrays.size(); ++a)
+    out.arrays[a].dims.assign(prog.arrays[a].dims.size(), DimDistribution{});
+  for (size_t j = 0; j < prog.nests.size(); ++j) {
+    const ParallelizedNest& par = out.par[j];
+    NestDecomposition& nd = out.nests[j];
+    nd.loops.assign(static_cast<size_t>(par.nest.depth()), LoopAssignment{});
+    nd.stmts.assign(par.nest.stmts.size(), StmtMapping{{-1}});
+    nd.comm_free = false;
+    nd.barrier_after = true;
+    for (int l = 0; l < par.nest.depth(); ++l)
+      if (par.parallel[static_cast<size_t>(l)]) {
+        nd.loops[static_cast<size_t>(l)] =
+            LoopAssignment{LoopSched::Distributed, 0};
+        break;  // BASE: only the outermost parallel loop
+      }
+  }
+  return out;
+}
+
+linalg::Vec computation_coords(const ProgramDecomposition& d, int nest,
+                               std::span<const Int> iter) {
+  Vec coords(static_cast<size_t>(d.num_proc_dims), -1);
+  const NestDecomposition& nd = d.nests[static_cast<size_t>(nest)];
+  for (size_t l = 0; l < nd.loops.size(); ++l) {
+    const LoopAssignment& la = nd.loops[l];
+    if (la.proc_dim >= 0 && la.proc_dim < d.num_proc_dims)
+      coords[static_cast<size_t>(la.proc_dim)] = iter[l];
+  }
+  return coords;
+}
+
+std::optional<linalg::Vec> data_coords(const ProgramDecomposition& d,
+                                       int array,
+                                       std::span<const Int> index) {
+  const ArrayDecomposition& ad = d.arrays[static_cast<size_t>(array)];
+  if (ad.replicated) return std::nullopt;
+  if (ad.distributed_count() == 0) return std::nullopt;
+  Vec coords(static_cast<size_t>(d.num_proc_dims), -1);
+  for (size_t k = 0; k < ad.dims.size(); ++k)
+    if (ad.dims[k].proc_dim >= 0)
+      coords[static_cast<size_t>(ad.dims[k].proc_dim)] = index[k];
+  return coords;
+}
+
+std::string ProgramDecomposition::to_string(const Program& prog) const {
+  std::ostringstream os;
+  os << "decomposition of " << prog.name << " (rank " << num_proc_dims
+     << ")\n";
+  for (size_t a = 0; a < prog.arrays.size(); ++a)
+    os << "  " << prog.arrays[a].name << " DISTRIBUTE"
+       << arrays[a].hpf_string() << "\n";
+  for (size_t j = 0; j < nests.size(); ++j) {
+    os << "  nest " << prog.nests[j].name << ":";
+    for (size_t l = 0; l < nests[j].loops.size(); ++l) {
+      const LoopAssignment& la = nests[j].loops[l];
+      os << " "
+         << (la.sched == LoopSched::Distributed  ? "DOALL"
+             : la.sched == LoopSched::Pipelined  ? "PIPE"
+             : la.proc_dim >= 0                  ? "OWNER"
+                                                 : "seq");
+      if (la.proc_dim >= 0) os << "[p" << la.proc_dim << "]";
+    }
+    os << (nests[j].comm_free ? " comm-free" : " +comm")
+       << (nests[j].barrier_after ? "" : " no-barrier") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dct::decomp

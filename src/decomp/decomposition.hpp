@@ -1,0 +1,142 @@
+// Computation and data decomposition (paper Section 3).
+//
+// Finds affine mappings of loop iterations (computation decomposition G_j)
+// and array elements (data decomposition D_x) onto a virtual processor
+// space such that the no-communication condition (Equation 1)
+//
+//     for every reference F_jx in nest j:  D_x(F_jx(i)) = G_j(i)
+//
+// holds for as much of the program as possible, maximizing the degree of
+// parallelism (rank of the mappings). Following the paper's implementation
+// restriction, a single array dimension maps to one virtual processor
+// dimension; decompositions are therefore expressible in HPF notation
+// (DISTRIBUTE(BLOCK, *) etc.) and that is how we report them.
+//
+// The algorithm:
+//   1. Unimodular preprocessing per nest (dep::parallelize).
+//   2. Alignment grouping of (array, dimension) nodes that should share a
+//      virtual processor dimension (via common indexing loops).
+//   3. Greedy/enumerative selection of which groups to distribute,
+//      weighted by execution frequency: communication (references that
+//      cannot satisfy Eq. 1) is pushed to the least-executed code, exactly
+//      as the paper's greedy does. Read-only arrays are replicated.
+//   4. Folding-function selection per virtual dimension: BLOCK by
+//      default, CYCLIC when work per iteration grows/shrinks with the
+//      iteration number (load balance, e.g. LU), BLOCK-CYCLIC when
+//      pipelining needs both balance and granularity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dep/parallelize.hpp"
+#include "ir/program.hpp"
+
+namespace dct::decomp {
+
+using linalg::Int;
+
+enum class DistKind { Serial, Block, Cyclic, BlockCyclic };
+std::string to_string(DistKind kind);
+
+/// Distribution of one array dimension.
+struct DimDistribution {
+  DistKind kind = DistKind::Serial;
+  int proc_dim = -1;  ///< virtual processor dimension, -1 when Serial
+  Int block = 0;      ///< block size for BlockCyclic
+};
+
+/// Data decomposition D_x of one array.
+struct ArrayDecomposition {
+  std::vector<DimDistribution> dims;
+  bool replicated = false;  ///< read-only data replicated on every cluster
+
+  int distributed_count() const;
+  /// HPF-style rendering, e.g. "(*, CYCLIC)".
+  std::string hpf_string() const;
+};
+
+enum class LoopSched {
+  Sequential,   ///< executed (redundantly or by the owner) in order
+  Distributed,  ///< DOALL split across a processor-grid dimension
+  Pipelined     ///< doacross with point-to-point synchronization
+};
+
+struct LoopAssignment {
+  LoopSched sched = LoopSched::Sequential;
+  int proc_dim = -1;
+};
+
+/// Owner-computes mapping of one statement: for each virtual processor
+/// dimension, the loop whose value gives the owner coordinate (-1 when the
+/// statement does not constrain that dimension — it then inherits the
+/// nest-level mapping). Imperfect nests (LU's divide) give different
+/// statements of one nest different owners.
+struct StmtMapping {
+  std::vector<int> loop_for_dim;
+};
+
+/// Computation decomposition G_j of one (transformed) nest.
+struct NestDecomposition {
+  /// Nest-level schedule, from the dominant (most-executed) statement.
+  std::vector<LoopAssignment> loops;
+  std::vector<StmtMapping> stmts;  ///< per-statement owner mappings
+  bool comm_free = true;  ///< Eq. 1 satisfied for all major references
+  /// Synchronization optimization [Tseng 95]: the barrier after this nest
+  /// can be dropped when the next nest's decomposition matches.
+  bool barrier_after = true;
+};
+
+struct ProgramDecomposition {
+  std::vector<dep::ParallelizedNest> par;  ///< transformed nests
+  std::vector<NestDecomposition> nests;
+  std::vector<ArrayDecomposition> arrays;
+  int num_proc_dims = 0;  ///< number of virtual processor dimensions
+
+  /// Grid folding data: virtual dimensions used *simultaneously* by some
+  /// nest must split the physical processors among themselves; dimensions
+  /// never co-active each get the full machine. For dimension i,
+  /// `clique_size[i]` is the size of its co-activity clique and
+  /// `clique_pos[i]` its position — the runtime computes the physical
+  /// extent as factor_grid(P, clique_size)[clique_pos].
+  std::vector<int> clique_size;
+  std::vector<int> clique_pos;
+  std::vector<int> clique_id;  ///< clique identifier per dimension
+  /// Physical extent of each virtual dimension for `procs` processors.
+  std::vector<int> grid_extents(int procs) const;
+
+  std::string to_string(const ir::Program& prog) const;
+};
+
+/// Near-square factorization of p into `dims` grid extents (descending),
+/// e.g. factor_grid(32, 2) == {8, 4}.
+std::vector<int> factor_grid(int p, int dims);
+
+struct DecompOptions {
+  int max_proc_dims = 2;  ///< virtual processor space rank limit
+  int procs = 32;         ///< reference machine size for the cost model
+  Int block_cyclic_block = 8;
+};
+
+/// The paper's full global algorithm (Section 3).
+ProgramDecomposition decompose(const ir::Program& prog,
+                               const DecompOptions& opts = {});
+
+/// The BASE compiler of the evaluation (Section 6.1): each nest analyzed
+/// in isolation, outermost parallel loop block-distributed, data layouts
+/// untouched, a barrier after every nest.
+ProgramDecomposition decompose_base(const ir::Program& prog,
+                                    const DecompOptions& opts = {});
+
+/// Virtual-processor coordinates of an iteration of nest `j` under the
+/// decomposition (the affine G_j, evaluated). Entries are -1 on processor
+/// dimensions this nest does not use.
+linalg::Vec computation_coords(const ProgramDecomposition& d, int nest,
+                               std::span<const Int> iter);
+/// Virtual-processor coordinates of an array element under D_x; nullopt
+/// when the array is replicated or fully serial.
+std::optional<linalg::Vec> data_coords(const ProgramDecomposition& d,
+                                       int array, std::span<const Int> index);
+
+}  // namespace dct::decomp

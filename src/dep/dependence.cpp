@@ -1,0 +1,550 @@
+#include "dep/dependence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace dct::dep {
+
+using ir::ArrayRef;
+using ir::LoopNest;
+using linalg::checked_add;
+using linalg::checked_mul;
+using linalg::IntMatrix;
+using linalg::Vec;
+
+bool DepVector::loop_independent() const {
+  return std::all_of(dirs.begin(), dirs.end(),
+                     [](Dir d) { return d == Dir::EQ; });
+}
+
+int DepVector::carrier_level() const {
+  for (size_t l = 0; l < dirs.size(); ++l)
+    if (dirs[l] != Dir::EQ) return static_cast<int>(l);
+  return -1;
+}
+
+std::string DepVector::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t l = 0; l < dirs.size(); ++l) {
+    if (l) os << ",";
+    if (dist[l].has_value())
+      os << *dist[l];
+    else
+      os << (dirs[l] == Dir::EQ ? "=" : dirs[l] == Dir::LT ? "<" : ">");
+  }
+  os << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Rectangular hull
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Interval value of an affine expression given per-variable intervals.
+void expr_interval(const ir::AffineExpr& e, const std::vector<Int>& lo,
+                   const std::vector<Int>& hi, Int& out_lo, Int& out_hi) {
+  out_lo = e.constant;
+  out_hi = e.constant;
+  for (size_t d = 0; d < e.coeffs.size(); ++d) {
+    const Int c = e.coeffs[d];
+    if (c == 0) continue;
+    if (c > 0) {
+      out_lo = checked_add(out_lo, checked_mul(c, lo[d]));
+      out_hi = checked_add(out_hi, checked_mul(c, hi[d]));
+    } else {
+      out_lo = checked_add(out_lo, checked_mul(c, hi[d]));
+      out_hi = checked_add(out_hi, checked_mul(c, lo[d]));
+    }
+  }
+}
+
+Int ceil_div(Int a, Int b) { return -linalg::floor_div(-a, b); }
+
+}  // namespace
+
+Hull iteration_hull(const ir::LoopNest& nest) {
+  Hull hull;
+  const int d = nest.depth();
+  hull.lo.assign(static_cast<size_t>(d), 0);
+  hull.hi.assign(static_cast<size_t>(d), 0);
+  for (int k = 0; k < d; ++k) {
+    const ir::Loop& lp = nest.loops[static_cast<size_t>(k)];
+    // Effective lower = max(bounds): its minimum is >= max of per-bound
+    // minima, which is a valid hull lower bound.
+    Int lo = INT64_MIN, hi = INT64_MAX;
+    for (const ir::Bound& b : lp.lowers) {
+      Int blo = 0, bhi = 0;
+      expr_interval(b.expr, hull.lo, hull.hi, blo, bhi);
+      lo = std::max(lo, ceil_div(blo, b.divisor));
+    }
+    for (const ir::Bound& b : lp.uppers) {
+      Int blo = 0, bhi = 0;
+      expr_interval(b.expr, hull.lo, hull.hi, blo, bhi);
+      hi = std::min(hi, linalg::floor_div(bhi, b.divisor));
+    }
+    DCT_CHECK(lo != INT64_MIN && hi != INT64_MAX, "loop without bounds");
+    if (lo > hi) {
+      hull.empty = true;
+      hi = lo;  // keep well-formed intervals
+    }
+    hull.lo[static_cast<size_t>(k)] = lo;
+    hull.hi[static_cast<size_t>(k)] = hi;
+  }
+  return hull;
+}
+
+// ---------------------------------------------------------------------------
+// Banerjee + GCD feasibility of one direction vector for one ref pair
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One affine inequality c · x + c0 >= 0 over the 2d-dimensional space of
+/// iteration pairs (i, i').
+struct Ineq {
+  Vec c;
+  Int c0 = 0;
+};
+
+/// Integer-tightening normalization: divide by the gcd of the variable
+/// coefficients, flooring the constant (keeps every integer point).
+void normalize_ineq(Ineq& q) {
+  Int g = 0;
+  for (Int v : q.c) g = linalg::gcd(g, v);
+  if (g > 1) {
+    for (Int& v : q.c) v /= g;
+    q.c0 = linalg::floor_div(q.c0, g);
+  }
+}
+
+/// Fourier–Motzkin feasibility over the rationals (with gcd cuts): false
+/// means no integer solution exists; true is conservative. Caps work to
+/// stay cheap — on blow-up it answers true (sound).
+bool fm_feasible(std::vector<Ineq> system, int nvars) {
+  constexpr size_t kMaxRows = 4000;
+  for (Ineq& q : system) normalize_ineq(q);
+  for (int v = nvars - 1; v >= 0; --v) {
+    std::vector<Ineq> lower, upper, rest;
+    for (Ineq& q : system) {
+      const Int cv = q.c[static_cast<size_t>(v)];
+      if (cv > 0)
+        lower.push_back(std::move(q));
+      else if (cv < 0)
+        upper.push_back(std::move(q));
+      else
+        rest.push_back(std::move(q));
+    }
+    if (lower.size() * upper.size() + rest.size() > kMaxRows) return true;
+    system = std::move(rest);
+    for (const Ineq& lo : lower)
+      for (const Ineq& hi : upper) {
+        const Int clo = lo.c[static_cast<size_t>(v)];
+        const Int chi = -hi.c[static_cast<size_t>(v)];
+        Ineq q;
+        q.c.resize(static_cast<size_t>(nvars));
+        for (int k = 0; k < nvars; ++k)
+          q.c[static_cast<size_t>(k)] = checked_add(
+              checked_mul(clo, hi.c[static_cast<size_t>(k)]),
+              checked_mul(chi, lo.c[static_cast<size_t>(k)]));
+        q.c0 = checked_add(checked_mul(clo, hi.c0), checked_mul(chi, lo.c0));
+        DCT_CHECK(q.c[static_cast<size_t>(v)] == 0);
+        normalize_ineq(q);
+        if (std::all_of(q.c.begin(), q.c.end(), [](Int x) { return x == 0; })) {
+          if (q.c0 < 0) return false;
+          continue;  // trivially satisfied
+        }
+        system.push_back(std::move(q));
+      }
+    // Deduplicate to control growth.
+    std::sort(system.begin(), system.end(), [](const Ineq& a, const Ineq& b) {
+      return std::tie(a.c, a.c0) < std::tie(b.c, b.c0);
+    });
+    system.erase(std::unique(system.begin(), system.end(),
+                             [](const Ineq& a, const Ineq& b) {
+                               return a.c == b.c && a.c0 == b.c0;
+                             }),
+                 system.end());
+  }
+  for (const Ineq& q : system)
+    if (q.c0 < 0) return false;
+  return true;
+}
+
+/// Append the inequalities of `loop` bounds for iteration variables at
+/// offset `base` within a 2d-variable system.
+void add_bound_ineqs(const ir::LoopNest& nest, int base, int nvars,
+                     std::vector<Ineq>& system) {
+  const int d = nest.depth();
+  for (int k = 0; k < d; ++k) {
+    const ir::Loop& lp = nest.loops[static_cast<size_t>(k)];
+    for (const ir::Bound& b : lp.lowers) {
+      Ineq q;
+      q.c.assign(static_cast<size_t>(nvars), 0);
+      q.c[static_cast<size_t>(base + k)] = b.divisor;
+      for (size_t i = 0; i < b.expr.coeffs.size(); ++i)
+        q.c[static_cast<size_t>(base) + i] = linalg::checked_sub(
+            q.c[static_cast<size_t>(base) + i], b.expr.coeffs[i]);
+      q.c0 = -b.expr.constant;
+      system.push_back(std::move(q));
+    }
+    for (const ir::Bound& b : lp.uppers) {
+      Ineq q;
+      q.c.assign(static_cast<size_t>(nvars), 0);
+      for (size_t i = 0; i < b.expr.coeffs.size(); ++i)
+        q.c[static_cast<size_t>(base) + i] = b.expr.coeffs[i];
+      q.c[static_cast<size_t>(base + k)] = linalg::checked_sub(
+          q.c[static_cast<size_t>(base + k)], b.divisor);
+      q.c0 = b.expr.constant;
+      system.push_back(std::move(q));
+    }
+  }
+}
+
+/// Can src (executed at iteration i) and dst (at i') touch the same element
+/// with the given direction constraints (src before dst)? Decided by exact
+/// rational Fourier–Motzkin over the full constraint system (handles
+/// triangular bounds) plus per-dimension Banerjee/GCD screening.
+/// Conservative: returns true unless independence is proven.
+/// `dirs` may be shorter than the nest depth (imperfect nests: direction
+/// constraints only apply to the loops common to both statements); deeper
+/// levels are unconstrained free variables.
+bool direction_feasible(const ir::LoopNest& nest, const ArrayRef& src,
+                        const ArrayRef& dst, const Hull& hull,
+                        const std::vector<Dir>& dirs) {
+  const int depth = nest.depth();
+  const int common = static_cast<int>(dirs.size());
+  const int rank = src.access.rows();
+  for (int r = 0; r < rank; ++r) {
+    // Equation over (per-level vars):  sum of terms == rhs.
+    //   a_k = src.access(r,k) applies to i_k, b_k = -dst.access(r,k) to i'_k.
+    const Int rhs = linalg::checked_sub(dst.offset[static_cast<size_t>(r)],
+                                        src.offset[static_cast<size_t>(r)]);
+    Int min_sum = 0, max_sum = 0, g = 0;
+    bool infeasible = false;
+    auto acc = [](const IntMatrix& m, int row, int col) {
+      return col < m.cols() ? m.at(row, col) : 0;
+    };
+    for (int k = 0; k < depth && !infeasible; ++k) {
+      const Int a = acc(src.access, r, k);
+      const Int b = -acc(dst.access, r, k);
+      const Int lo = hull.lo[static_cast<size_t>(k)];
+      const Int hi = hull.hi[static_cast<size_t>(k)];
+      const Int span = hi - lo;
+      auto add_term = [&](Int coeff, Int tlo, Int thi) {
+        if (coeff == 0) return;
+        g = linalg::gcd(g, coeff);
+        if (coeff > 0) {
+          min_sum = checked_add(min_sum, checked_mul(coeff, tlo));
+          max_sum = checked_add(max_sum, checked_mul(coeff, thi));
+        } else {
+          min_sum = checked_add(min_sum, checked_mul(coeff, thi));
+          max_sum = checked_add(max_sum, checked_mul(coeff, tlo));
+        }
+      };
+      if (k >= common) {  // free: i_k and i'_k range independently
+        add_term(a, lo, hi);
+        add_term(b, lo, hi);
+        continue;
+      }
+      switch (dirs[static_cast<size_t>(k)]) {
+        case Dir::EQ:
+          add_term(checked_add(a, b), lo, hi);
+          break;
+        case Dir::LT:  // i'_k = i_k + delta, delta in [1, span]
+          if (span < 1) {
+            infeasible = true;
+            break;
+          }
+          add_term(checked_add(a, b), lo, hi);
+          add_term(b, 1, span);
+          break;
+        case Dir::GT:  // i_k = i'_k + delta, delta in [1, span]
+          if (span < 1) {
+            infeasible = true;
+            break;
+          }
+          add_term(checked_add(a, b), lo, hi);
+          add_term(a, 1, span);
+          break;
+      }
+    }
+    if (infeasible) return false;
+    if (rhs < min_sum || rhs > max_sum) return false;  // Banerjee
+    if (g == 0) {
+      if (rhs != 0) return false;
+    } else if (rhs % g != 0) {
+      return false;  // GCD
+    }
+  }
+
+  // Exact rational feasibility over (i, i') with the true (possibly
+  // triangular) bounds, direction constraints and subscript equalities.
+  const int nvars = 2 * depth;
+  std::vector<Ineq> system;
+  add_bound_ineqs(nest, 0, nvars, system);      // i
+  add_bound_ineqs(nest, depth, nvars, system);  // i'
+  for (int k = 0; k < common; ++k) {
+    Ineq q;
+    q.c.assign(static_cast<size_t>(nvars), 0);
+    switch (dirs[static_cast<size_t>(k)]) {
+      case Dir::EQ: {  // i'_k - i_k == 0
+        q.c[static_cast<size_t>(depth + k)] = 1;
+        q.c[static_cast<size_t>(k)] = -1;
+        Ineq neg = q;
+        for (Int& v : neg.c) v = -v;
+        system.push_back(std::move(q));
+        system.push_back(std::move(neg));
+        break;
+      }
+      case Dir::LT:  // i'_k - i_k - 1 >= 0
+        q.c[static_cast<size_t>(depth + k)] = 1;
+        q.c[static_cast<size_t>(k)] = -1;
+        q.c0 = -1;
+        system.push_back(std::move(q));
+        break;
+      case Dir::GT:  // i_k - i'_k - 1 >= 0
+        q.c[static_cast<size_t>(k)] = 1;
+        q.c[static_cast<size_t>(depth + k)] = -1;
+        q.c0 = -1;
+        system.push_back(std::move(q));
+        break;
+    }
+  }
+  for (int r = 0; r < rank; ++r) {
+    Ineq q;
+    q.c.assign(static_cast<size_t>(nvars), 0);
+    auto acc = [](const IntMatrix& m, int row, int col) {
+      return col < m.cols() ? m.at(row, col) : 0;
+    };
+    for (int k = 0; k < depth; ++k) {
+      q.c[static_cast<size_t>(k)] = acc(src.access, r, k);
+      q.c[static_cast<size_t>(depth + k)] = -acc(dst.access, r, k);
+    }
+    q.c0 = linalg::checked_sub(src.offset[static_cast<size_t>(r)],
+                               dst.offset[static_cast<size_t>(r)]);
+    Ineq neg = q;
+    for (Int& v : neg.c) v = -v;
+    neg.c0 = -neg.c0;
+    system.push_back(std::move(q));
+    system.push_back(std::move(neg));
+  }
+  return fm_feasible(std::move(system), nvars);
+}
+
+/// Exact dependence for a uniformly generated pair (equal access
+/// matrices): solve F * delta = src.offset - dst.offset ... precisely,
+/// element equality F i + o_src = F i' + o_dst gives F (i' - i) = o_src -
+/// o_dst. Returns the unique delta when F has full column rank, nullopt
+/// when no integral solution exists, and no value via `unique=false` when
+/// delta is underdetermined (caller falls back to direction testing).
+std::optional<Vec> uniform_distance(const ArrayRef& src, const ArrayRef& dst,
+                                    bool& unique) {
+  unique = false;
+  if (src.access != dst.access) return std::nullopt;
+  if (linalg::rank(src.access) != src.access.cols()) return std::nullopt;
+  unique = true;
+  Vec rhs(src.offset.size());
+  for (size_t r = 0; r < rhs.size(); ++r)
+    rhs[r] = linalg::checked_sub(src.offset[r], dst.offset[r]);
+  const auto sol = linalg::solve(src.access, rhs);
+  if (!sol.has_value() || sol->denom != 1) {
+    // No integral delta: the two references never overlap.
+    return std::nullopt;
+  }
+  return sol->x;
+}
+
+/// Is there an in-hull iteration pair separated by exactly `delta`?
+bool distance_in_hull(const Vec& delta, const Hull& hull) {
+  for (size_t k = 0; k < delta.size(); ++k) {
+    const Int span = hull.hi[k] - hull.lo[k];
+    if (std::abs(delta[k]) > span) return false;
+  }
+  return true;
+}
+
+void canonicalize(Vec& delta) {
+  for (Int v : delta) {
+    if (v > 0) return;
+    if (v < 0) {
+      for (Int& x : delta) x = -x;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Nest-level analysis
+// ---------------------------------------------------------------------------
+
+NestDeps analyze(const LoopNest& nest) {
+  NestDeps out;
+  const int d = nest.depth();
+  out.carried.assign(static_cast<size_t>(d), false);
+  const Hull hull = iteration_hull(nest);
+  if (hull.empty || d == 0) return out;
+
+  // Collect (ref, is_write, stmt depth) tuples.
+  struct Access {
+    const ArrayRef* ref;
+    bool is_write;
+    int depth;
+  };
+  std::vector<Access> accesses;
+  for (const ir::Stmt& s : nest.stmts) {
+    const int sd = s.effective_depth(d);
+    for (const ArrayRef& r : s.reads) accesses.push_back({&r, false, sd});
+    if (s.write) accesses.push_back({&*s.write, true, sd});
+  }
+
+  auto add_vector = [&](DepVector v) {
+    if (v.loop_independent()) return;
+    if (std::find(out.vectors.begin(), out.vectors.end(), v) ==
+        out.vectors.end())
+      out.vectors.push_back(std::move(v));
+  };
+
+  // Canonical direction vectors of a given length (first non-EQ is LT):
+  // EQ^l LT {EQ,LT,GT}^(len-l-1). All-EQ vectors are loop-independent and
+  // skipped.
+  auto canonical_vectors = [](int len) {
+    std::vector<std::vector<Dir>> out;
+    for (int l = 0; l < len; ++l) {
+      std::vector<Dir> prefix(static_cast<size_t>(l), Dir::EQ);
+      prefix.push_back(Dir::LT);
+      const int tail = len - l - 1;
+      int total = 1;
+      for (int t = 0; t < tail; ++t) total *= 3;
+      for (int mask = 0; mask < total; ++mask) {
+        std::vector<Dir> vec = prefix;
+        int m = mask;
+        for (int t = 0; t < tail; ++t) {
+          vec.push_back(static_cast<Dir>(m % 3));
+          m /= 3;
+        }
+        out.push_back(std::move(vec));
+      }
+    }
+    return out;
+  };
+  std::vector<std::vector<std::vector<Dir>>> canon_by_len(
+      static_cast<size_t>(d) + 1);
+  for (int len = 0; len <= d; ++len)
+    canon_by_len[static_cast<size_t>(len)] = canonical_vectors(len);
+
+  for (const Access& a1 : accesses) {
+    for (const Access& a2 : accesses) {
+      if (!a1.is_write && !a2.is_write) continue;
+      if (a1.ref->array != a2.ref->array) continue;
+      const int common = std::min(a1.depth, a2.depth);
+      // Uniformly generated full-depth pair: exact distance.
+      if (a1.depth == d && a2.depth == d) {
+        bool unique = false;
+        const auto delta = uniform_distance(*a1.ref, *a2.ref, unique);
+        if (unique) {
+          if (!delta.has_value()) continue;  // proven independent
+          Vec dv = *delta;
+          if (!distance_in_hull(dv, hull)) continue;
+          canonicalize(dv);
+          DepVector v;
+          v.dirs.reserve(static_cast<size_t>(d));
+          v.dist.reserve(static_cast<size_t>(d));
+          for (Int x : dv) {
+            v.dirs.push_back(x == 0 ? Dir::EQ : x > 0 ? Dir::LT : Dir::GT);
+            v.dist.push_back(x);
+          }
+          add_vector(std::move(v));
+          continue;
+        }
+      }
+      // General pair: hierarchical direction-vector testing over the loops
+      // common to both statements.
+      for (const auto& dirs : canon_by_len[static_cast<size_t>(common)]) {
+        if (!direction_feasible(nest, *a1.ref, *a2.ref, hull, dirs)) continue;
+        DepVector v;
+        v.dirs = dirs;
+        v.dirs.resize(static_cast<size_t>(d), Dir::EQ);
+        v.dist.assign(static_cast<size_t>(d), std::nullopt);
+        for (int k = 0; k < d; ++k)
+          if (v.dirs[static_cast<size_t>(k)] == Dir::EQ)
+            v.dist[static_cast<size_t>(k)] = 0;
+        add_vector(std::move(v));
+      }
+    }
+  }
+
+  for (const DepVector& v : out.vectors) {
+    const int l = v.carrier_level();
+    if (l >= 0) out.carried[static_cast<size_t>(l)] = true;
+  }
+  return out;
+}
+
+bool NestDeps::pipelinable(int level) const {
+  bool carries = false;
+  for (const DepVector& v : vectors) {
+    if (v.carrier_level() != level) continue;
+    carries = true;
+    const auto& dist = v.dist[static_cast<size_t>(level)];
+    if (!dist.has_value() || *dist <= 0) return false;
+  }
+  return carries;
+}
+
+std::vector<bool> carried_levels_bruteforce(const LoopNest& nest) {
+  const int d = nest.depth();
+  std::vector<bool> carried(static_cast<size_t>(d), false);
+
+  // Record every access: (array, flattened index) -> list of touches.
+  struct Touch {
+    Vec iter;
+    bool write;
+    int depth;
+  };
+  std::map<std::pair<int, Vec>, std::vector<Touch>> touches;
+  ir::for_each_iteration(nest, [&](std::span<const Int> iter) {
+    Vec it(iter.begin(), iter.end());
+    for (const ir::Stmt& s : nest.stmts) {
+      const int sd = s.effective_depth(d);
+      // A depth-sd statement executes only when all deeper loops are at
+      // their first iteration.
+      bool first = true;
+      for (int k = sd; k < d && first; ++k)
+        first = iter[static_cast<size_t>(k)] ==
+                nest.loops[static_cast<size_t>(k)].lower_bound(iter);
+      if (!first) continue;
+      for (const ArrayRef& r : s.reads)
+        touches[{r.array, r.index(iter)}].push_back({it, false, sd});
+      if (s.write)
+        touches[{s.write->array, s.write->index(iter)}].push_back(
+            {it, true, sd});
+    }
+  });
+  for (const auto& [key, list] : touches) {
+    for (size_t i = 0; i < list.size(); ++i)
+      for (size_t j = 0; j < list.size(); ++j) {
+        if (!list[i].write && !list[j].write) continue;
+        const int common = std::min(list[i].depth, list[j].depth);
+        // Find first differing level among the common loops.
+        for (int k = 0; k < common; ++k) {
+          const Int a = list[i].iter[static_cast<size_t>(k)];
+          const Int b = list[j].iter[static_cast<size_t>(k)];
+          if (a != b) {
+            carried[static_cast<size_t>(k)] = true;
+            break;
+          }
+        }
+      }
+  }
+  return carried;
+}
+
+}  // namespace dct::dep

@@ -1,0 +1,62 @@
+// Data-dependence analysis on affine loop nests.
+//
+// Computes the set of dependence vectors of a nest (exact distance vectors
+// for uniformly generated reference pairs, conservative direction vectors
+// via hierarchical Banerjee + GCD testing otherwise) and the loops that
+// carry a dependence. This powers both the unimodular parallelization
+// preprocessing (paper §3.2 step 1) and the pipelining decision (§6.2.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace dct::dep {
+
+using ir::Int;
+
+enum class Dir : std::uint8_t { EQ, LT, GT };
+
+/// One dependence vector (source iteration → destination iteration),
+/// canonicalized so the first non-EQ component is LT. A component has an
+/// exact distance when the reference pair was uniformly generated.
+struct DepVector {
+  std::vector<Dir> dirs;
+  std::vector<std::optional<Int>> dist;  ///< dst - src where exact
+
+  bool loop_independent() const;  ///< all components EQ
+  /// Level (0-based) of the first non-EQ component, or -1.
+  int carrier_level() const;
+  std::string to_string() const;
+  bool operator==(const DepVector&) const = default;
+};
+
+/// Rectangular hull of a nest's iteration space (conservative bounds used
+/// by the Banerjee test; triangular bounds widen to their extreme values).
+struct Hull {
+  std::vector<Int> lo, hi;
+  bool empty = false;
+};
+Hull iteration_hull(const ir::LoopNest& nest);
+
+/// Full dependence summary of one nest.
+struct NestDeps {
+  std::vector<DepVector> vectors;  ///< deduplicated
+  std::vector<bool> carried;       ///< per level: some vector carried here
+
+  /// A level is pipelinable if every vector it carries has an exact,
+  /// constant positive distance at that level (doacross with point-to-point
+  /// synchronization is then legal and bounded).
+  bool pipelinable(int level) const;
+};
+
+NestDeps analyze(const ir::LoopNest& nest);
+
+/// Brute-force oracle for tests: enumerate all iteration pairs of a small
+/// nest and report the exact set of carried levels.
+std::vector<bool> carried_levels_bruteforce(const ir::LoopNest& nest);
+
+}  // namespace dct::dep

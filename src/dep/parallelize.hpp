@@ -1,0 +1,29 @@
+// Unimodular parallelization preprocessing (paper §3.2, first step):
+// "analyze each loop nest individually and restructure the loop via
+// unimodular transformations to expose the largest number of outermost
+// parallelizable loops" — the Wolf–Lam style search over loop
+// permutations, with a skewing fallback for wavefront nests.
+#pragma once
+
+#include "dep/dependence.hpp"
+#include "ir/program.hpp"
+
+namespace dct::dep {
+
+struct ParallelizedNest {
+  ir::LoopNest nest;            ///< the transformed nest
+  linalg::IntMatrix transform;  ///< j = transform * i
+  NestDeps deps;                ///< dependences of the transformed nest
+  std::vector<bool> parallel;   ///< per level: carries no dependence (DOALL)
+
+  int outer_parallel_count() const;  ///< leading DOALL levels
+};
+
+/// Search permutations (and, when no permutation exposes parallelism and
+/// all dependences have exact distances, simple skews) for the legal
+/// transform maximizing outermost parallelism; ties prefer total
+/// parallelism, then stride-1 (column-major) innermost access, then the
+/// identity.
+ParallelizedNest parallelize(const ir::LoopNest& nest);
+
+}  // namespace dct::dep

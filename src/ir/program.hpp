@@ -1,0 +1,175 @@
+// Affine kernel IR.
+//
+// The paper's algorithms consume an affine abstraction of the input
+// program: loop nests as multi-dimensional iteration spaces with affine
+// (possibly triangular) bounds, arrays as multi-dimensional index spaces,
+// and array references as affine maps from iteration space to array space.
+// This module provides that abstraction plus a builder API; the seven
+// benchmark applications (src/apps) are expressed directly in it.
+//
+// Statements additionally carry a numeric evaluator so a transformed
+// program can be *executed* and checked bit-for-bit against the original
+// (layout legality, Section 4.1.3: a data transform must preserve program
+// semantics).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/int_matrix.hpp"
+
+namespace dct::ir {
+
+using linalg::Int;
+using linalg::IntMatrix;
+using linalg::Vec;
+
+/// Affine expression over the index variables of the enclosing loop nest:
+/// value(i) = coeffs · i[0..depth) + constant. `coeffs` may be shorter than
+/// the iteration vector (missing entries are zero), which lets bounds refer
+/// only to outer loops.
+struct AffineExpr {
+  Vec coeffs;
+  Int constant = 0;
+
+  Int eval(std::span<const Int> iter) const;
+  /// True if no loop variable with index >= first appears.
+  bool depends_only_on_outer(int first) const;
+  std::string to_string() const;
+};
+
+/// Build an expression referencing loop variable `depth` (0 = outermost).
+AffineExpr var(int depth, Int coeff = 1);
+AffineExpr cst(Int value);
+AffineExpr operator+(AffineExpr a, const AffineExpr& b);
+AffineExpr operator-(AffineExpr a, const AffineExpr& b);
+AffineExpr operator*(AffineExpr a, Int s);
+AffineExpr operator+(AffineExpr a, Int c);
+AffineExpr operator-(AffineExpr a, Int c);
+
+/// Array declaration; extents are concrete (programs are built per size).
+struct ArrayDecl {
+  std::string name;
+  std::vector<Int> dims;  ///< extent per dimension, 0-based indexing
+  int elem_size = 8;      ///< bytes per element (4 REAL, 8 DOUBLE PRECISION)
+  /// Section 4.1.3: aliasing/reshaping can make restructuring illegal;
+  /// such arrays must keep their original layout.
+  bool transformable = true;
+
+  Int elem_count() const;
+  Int byte_size() const;
+};
+
+/// Affine array reference: index(i) = access * i + offset.
+struct ArrayRef {
+  int array = -1;   ///< index into Program::arrays
+  IntMatrix access;  ///< (array rank) x (nest depth)
+  Vec offset;        ///< array rank
+
+  Vec index(std::span<const Int> iter) const;
+  std::string to_string(const struct Program& prog) const;
+};
+
+/// Convenience: build an ArrayRef whose dimension d reads loop variable
+/// `dims[d].first` scaled by 1 with offset `dims[d].second`; a loop index
+/// of -1 means the dimension is a constant equal to the offset.
+ArrayRef simple_ref(int array, int depth,
+                    const std::vector<std::pair<int, Int>>& dims);
+
+/// One assignment statement: write = eval(reads). The evaluator is used by
+/// the semantic-verification executor; the performance simulator only needs
+/// the reference structure and the compute cost.
+struct Stmt {
+  std::vector<ArrayRef> reads;
+  std::optional<ArrayRef> write;
+  double compute_cycles = 4.0;  ///< scalar FP work per execution
+  std::function<double(std::span<const double>)> eval;
+  /// Imperfect-nest support: the statement executes once per iteration of
+  /// the outermost `depth` loops, positioned before the deeper loop body
+  /// (-1 = full nest depth). Access matrices still have full-depth columns
+  /// (zero on the unused inner loops).
+  int depth = -1;
+
+  int effective_depth(int nest_depth) const {
+    return depth < 0 ? nest_depth : depth;
+  }
+};
+
+/// One affine bound: expr / divisor, rounded up (lower bounds) or down
+/// (upper bounds). Divisors > 1 arise from Fourier–Motzkin bound
+/// generation after unimodular transforms.
+struct Bound {
+  AffineExpr expr;
+  Int divisor = 1;
+};
+
+/// One loop of a nest with inclusive affine bounds. A loop may carry
+/// several lower/upper bounds (the effective bound is their max/min
+/// respectively) — Fourier–Motzkin bound generation after a unimodular
+/// transform naturally produces such bound sets.
+struct Loop {
+  std::string var_name;
+  std::vector<Bound> lowers;  ///< effective lower = max of ceil(expr/div)
+  std::vector<Bound> uppers;  ///< effective upper = min of floor(expr/div)
+
+  Int lower_bound(std::span<const Int> iter) const;
+  Int upper_bound(std::span<const Int> iter) const;
+};
+
+/// Convenience constructor for the common single-bound case.
+Loop loop(std::string var_name, AffineExpr lower, AffineExpr upper);
+
+/// A perfectly nested affine loop nest executing `stmts` in order per
+/// iteration of the full index vector.
+struct LoopNest {
+  std::string name;
+  std::vector<Loop> loops;  ///< outermost first
+  std::vector<Stmt> stmts;
+  /// Static execution-frequency weight; the decomposition pass orders its
+  /// greedy constraint processing by this (paper §3.2: "starting with the
+  /// constraints among the more frequently executed loops").
+  long frequency = 1;
+
+  int depth() const { return static_cast<int>(loops.size()); }
+};
+
+/// A program: arrays plus a sequence of nests, the whole sequence repeated
+/// `time_steps` times (the outer sequential time loop of stencil codes).
+struct Program {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<LoopNest> nests;
+  int time_steps = 1;
+
+  const ArrayDecl& array(int id) const;
+  int array_id(const std::string& name) const;
+  /// Total iterations of one nest (walks the affine bounds).
+  long long nest_iterations(const LoopNest& nest) const;
+  std::string to_string() const;
+};
+
+/// Walk every iteration of `nest` in original (lexicographic) order,
+/// invoking fn(iter). Used by reference executors and dependence tests.
+void for_each_iteration(const LoopNest& nest,
+                        const std::function<void(std::span<const Int>)>& fn);
+
+/// Fluent builder used by the application kernels.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  int array(const std::string& name, std::vector<Int> dims, int elem_size = 8,
+            bool transformable = true);
+  LoopNest& nest(const std::string& name, long frequency = 1);
+  void set_time_steps(int steps);
+
+  Program build();
+
+ private:
+  Program prog_;
+};
+
+}  // namespace dct::ir

@@ -1,0 +1,194 @@
+#include "ir/transform.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/diagnostics.hpp"
+
+namespace dct::ir {
+
+using linalg::checked_add;
+using linalg::checked_mul;
+using linalg::IntMatrix;
+
+IntMatrix permutation_matrix(const std::vector<int>& perm) {
+  const int n = static_cast<int>(perm.size());
+  IntMatrix m(n, n);
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (int l = 0; l < n; ++l) {
+    const int src = perm[static_cast<size_t>(l)];
+    DCT_CHECK(src >= 0 && src < n && !seen[static_cast<size_t>(src)],
+              "not a permutation");
+    seen[static_cast<size_t>(src)] = true;
+    m.at(l, src) = 1;
+  }
+  return m;
+}
+
+IntMatrix skew_matrix(int depth, int target, int source, linalg::Int factor) {
+  DCT_CHECK(target != source, "skew target must differ from source");
+  IntMatrix m = IntMatrix::identity(depth);
+  m.at(target, source) = factor;
+  return m;
+}
+
+IntMatrix reversal_matrix(int depth, int level) {
+  IntMatrix m = IntMatrix::identity(depth);
+  m.at(level, level) = -1;
+  return m;
+}
+
+IntMatrix unimodular_inverse(const IntMatrix& u) {
+  DCT_CHECK(u.rows() == u.cols(), "inverse of non-square matrix");
+  DCT_CHECK(std::abs(linalg::determinant(u)) == 1, "matrix is not unimodular");
+  const int n = u.rows();
+  IntMatrix inv(n, n);
+  for (int c = 0; c < n; ++c) {
+    linalg::Vec e(static_cast<size_t>(n), 0);
+    e[static_cast<size_t>(c)] = 1;
+    const auto sol = linalg::solve(u, e);
+    DCT_CHECK(sol.has_value() && sol->denom == 1, "unimodular inverse failed");
+    for (int r = 0; r < n; ++r) inv.at(r, c) = sol->x[static_cast<size_t>(r)];
+  }
+  return inv;
+}
+
+namespace {
+
+/// One affine inequality c · x + c0 >= 0 over the iteration vector.
+struct Ineq {
+  linalg::Vec c;
+  linalg::Int c0 = 0;
+};
+
+Ineq scale(const Ineq& q, linalg::Int s) {
+  Ineq out = q;
+  for (auto& v : out.c) v = checked_mul(v, s);
+  out.c0 = checked_mul(out.c0, s);
+  return out;
+}
+
+Ineq add(const Ineq& a, const Ineq& b) {
+  Ineq out;
+  out.c.resize(a.c.size());
+  for (size_t i = 0; i < a.c.size(); ++i)
+    out.c[i] = checked_add(a.c[i], b.c[i]);
+  out.c0 = checked_add(a.c0, b.c0);
+  return out;
+}
+
+/// Reduce an inequality by the gcd of its coefficients (with floor on the
+/// constant — valid for integer points).
+void normalize(Ineq& q) {
+  linalg::Int g = 0;
+  for (auto v : q.c) g = linalg::gcd(g, v);
+  if (g > 1) {
+    for (auto& v : q.c) v /= g;
+    q.c0 = linalg::floor_div(q.c0, g);
+  }
+}
+
+}  // namespace
+
+LoopNest apply_unimodular(const LoopNest& nest, const IntMatrix& u) {
+  const int d = nest.depth();
+  DCT_CHECK(u.rows() == d && u.cols() == d, "transform shape mismatch");
+  const IntMatrix v = unimodular_inverse(u);  // i = v * j
+
+  // Build the iteration-polytope inequality system over i, then substitute
+  // i = v * j to express it over j.
+  std::vector<Ineq> system;
+  for (int k = 0; k < d; ++k) {
+    const Loop& lp = nest.loops[static_cast<size_t>(k)];
+    for (const Bound& b : lp.lowers) {
+      // divisor * i_k - expr >= 0
+      Ineq q;
+      q.c.assign(static_cast<size_t>(d), 0);
+      q.c[static_cast<size_t>(k)] = b.divisor;
+      for (size_t i = 0; i < b.expr.coeffs.size(); ++i)
+        q.c[i] = linalg::checked_sub(q.c[i], b.expr.coeffs[i]);
+      q.c0 = -b.expr.constant;
+      system.push_back(std::move(q));
+    }
+    for (const Bound& b : lp.uppers) {
+      // expr - divisor * i_k >= 0
+      Ineq q;
+      q.c.assign(static_cast<size_t>(d), 0);
+      for (size_t i = 0; i < b.expr.coeffs.size(); ++i) q.c[i] = b.expr.coeffs[i];
+      q.c[static_cast<size_t>(k)] =
+          linalg::checked_sub(q.c[static_cast<size_t>(k)], b.divisor);
+      q.c0 = b.expr.constant;
+      system.push_back(std::move(q));
+    }
+  }
+  for (Ineq& q : system) {
+    linalg::Vec cj(static_cast<size_t>(d), 0);
+    for (int col = 0; col < d; ++col)
+      for (int row = 0; row < d; ++row)
+        cj[static_cast<size_t>(col)] =
+            checked_add(cj[static_cast<size_t>(col)],
+                        checked_mul(q.c[static_cast<size_t>(row)], v.at(row, col)));
+    q.c = std::move(cj);
+    normalize(q);
+  }
+
+  // Fourier–Motzkin: peel bounds for levels d-1 .. 0.
+  LoopNest out;
+  out.name = nest.name;
+  out.frequency = nest.frequency;
+  out.loops.resize(static_cast<size_t>(d));
+  for (int k = d - 1; k >= 0; --k) {
+    Loop& lp = out.loops[static_cast<size_t>(k)];
+    lp.var_name = "j" + std::to_string(k);
+    std::vector<Ineq> lower, upper, rest;
+    for (const Ineq& q : system) {
+      const linalg::Int ck = q.c[static_cast<size_t>(k)];
+      if (ck > 0)
+        lower.push_back(q);
+      else if (ck < 0)
+        upper.push_back(q);
+      else
+        rest.push_back(q);
+    }
+    DCT_CHECK(!lower.empty() && !upper.empty(),
+              "transformed nest is unbounded at level " + std::to_string(k));
+    for (const Ineq& q : lower) {
+      // ck * j_k >= -(rest of q)  =>  j_k >= ceil(expr / ck)
+      Bound b;
+      b.divisor = q.c[static_cast<size_t>(k)];
+      b.expr.coeffs.assign(q.c.begin(), q.c.begin() + k);
+      for (auto& cv : b.expr.coeffs) cv = -cv;
+      b.expr.constant = -q.c0;
+      lp.lowers.push_back(std::move(b));
+    }
+    for (const Ineq& q : upper) {
+      // (-ck) * j_k <= rest of q  =>  j_k <= floor(expr / -ck)
+      Bound b;
+      b.divisor = -q.c[static_cast<size_t>(k)];
+      b.expr.coeffs.assign(q.c.begin(), q.c.begin() + k);
+      b.expr.constant = q.c0;
+      lp.uppers.push_back(std::move(b));
+    }
+    // Eliminate j_k for the outer levels.
+    system = std::move(rest);
+    for (const Ineq& lo : lower)
+      for (const Ineq& hi : upper) {
+        Ineq combined =
+            add(scale(hi, lo.c[static_cast<size_t>(k)]),
+                scale(lo, -hi.c[static_cast<size_t>(k)]));
+        DCT_CHECK(combined.c[static_cast<size_t>(k)] == 0, "FM elimination bug");
+        normalize(combined);
+        system.push_back(std::move(combined));
+      }
+  }
+
+  // Transform the statements: F' = F * V, offsets unchanged.
+  out.stmts = nest.stmts;
+  for (Stmt& s : out.stmts) {
+    for (ArrayRef& r : s.reads) r.access = r.access * v;
+    if (s.write) s.write->access = s.write->access * v;
+  }
+  return out;
+}
+
+}  // namespace dct::ir

@@ -1,0 +1,35 @@
+// Unimodular loop transformations (Wolf–Lam loop transformation theory).
+//
+// A unimodular matrix U maps the iteration vector i of a nest to a new
+// vector j = U * i. Array references transform as F' = F * U^{-1}; loop
+// bounds are regenerated with Fourier–Motzkin elimination on the affine
+// inequality system describing the iteration polytope.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace dct::ir {
+
+/// Permutation matrix: new level l reads old loop perm[l] (j_l = i_perm[l]).
+linalg::IntMatrix permutation_matrix(const std::vector<int>& perm);
+
+/// Skew matrix: identity with j_target += factor * i_source added.
+linalg::IntMatrix skew_matrix(int depth, int target, int source,
+                              linalg::Int factor);
+
+/// Reversal matrix: identity with row `level` negated.
+linalg::IntMatrix reversal_matrix(int depth, int level);
+
+/// Apply a unimodular transform to a nest: returns the equivalent nest
+/// over j = U * i (same set of executed statement instances, new
+/// enumeration order). Throws if U is not unimodular or if the transformed
+/// bounds cannot be expressed (never happens for unimodular U with affine
+/// bounds — Fourier–Motzkin is closed over them).
+LoopNest apply_unimodular(const LoopNest& nest, const linalg::IntMatrix& u);
+
+/// Exact integer inverse of a unimodular matrix.
+linalg::IntMatrix unimodular_inverse(const linalg::IntMatrix& u);
+
+}  // namespace dct::ir

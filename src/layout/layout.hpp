@@ -1,0 +1,149 @@
+// Data transformation framework (paper Section 4).
+//
+// An n-dimensional array is an n-dimensional polytope of index points with
+// a significant axis order (column-major linearization, 0-based). Two
+// primitive transforms restructure it:
+//
+//  * strip-mining (4.1.1): dimension of extent d with strip size b becomes
+//    two dimensions (i mod b, i div b) of extents b and ceil(d/b);
+//  * permutation (4.1.2): reorder the dimensions (and bounds) by a
+//    permutation matrix.
+//
+// A Layout is a composition of these primitives; it maps an original index
+// vector to a linear address in the restructured array. The layout
+// algorithm (4.2) derives, per distributed dimension, the strip-mine +
+// permute sequence that makes each processor's data contiguous in the
+// shared address space:
+//
+//   BLOCK:        strip by ceil(d/P); processor id = second new dim
+//   CYCLIC:       strip by P;         processor id = first new dim
+//   BLOCK-CYCLIC: strip by b then by P; processor id = middle new dim
+//
+// then moves the processor-identifying dimension to the rightmost
+// (slowest-varying) position, skipping the transform entirely when the
+// highest dimension is BLOCK-distributed (it is already rightmost).
+#pragma once
+
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "decomp/decomposition.hpp"
+#include "ir/program.hpp"
+
+namespace dct::layout {
+
+using linalg::Int;
+
+/// Strip-mine primitive: splits `dim` (extent d) into (i mod size) at
+/// position `dim` and (i div size) at position `dim`+1.
+struct StripMine {
+  int dim;
+  Int size;
+};
+
+/// Permutation primitive: new dimension k is old dimension perm[k].
+struct Permute {
+  std::vector<int> perm;
+};
+
+using Transform = std::variant<StripMine, Permute>;
+
+/// A composed data transformation of one array.
+class Layout {
+ public:
+  /// Identity layout of an array with the given extents.
+  static Layout identity(std::vector<Int> dims);
+
+  void apply(const StripMine& sm);
+  void apply(const Permute& p);
+
+  /// Extents of the restructured array.
+  const std::vector<Int>& dims() const { return dims_; }
+  /// Total element count of the restructured array (>= the original
+  /// count: ceil padding from strip-mining).
+  Int size() const;
+  /// True when no transform has been applied.
+  bool is_identity() const { return steps_.empty(); }
+  const std::vector<Transform>& steps() const { return steps_; }
+
+  /// Restructured index vector of an original element.
+  std::vector<Int> map_index(std::span<const Int> index) const;
+  /// Column-major linear address of an original element in the
+  /// restructured array.
+  Int linearize(std::span<const Int> index) const;
+
+  std::string to_string() const;
+
+  /// Closed form of one restructured dimension: value = (orig[src] / div)
+  /// mod `mod` (mod == 0 means no modulus). Valid when `simple`; layouts
+  /// produced by the Section 4.2 algorithm are always simple, which is
+  /// what makes the Section 4.3 address optimizations applicable.
+  struct DimFn {
+    int src;
+    Int div = 1;
+    Int mod = 0;
+    bool simple = true;
+  };
+  const std::vector<DimFn>& dim_functions() const { return fns_; }
+
+ private:
+  std::vector<Int> dims_;
+  std::vector<Transform> steps_;
+  std::vector<DimFn> fns_;
+  bool fast_ = true;
+};
+
+/// The layout algorithm of Section 4.2: derive the restructured layout of
+/// one array from its data decomposition and the processor grid extents.
+/// Arrays that are not transformable (Section 4.1.3), replicated or
+/// undistributed keep the identity layout.
+Layout derive_layout(const ir::ArrayDecl& decl,
+                     const decomp::ArrayDecomposition& ad,
+                     std::span<const int> grid_extents);
+
+/// Owner coordinates of an array element under a decomposition: for each
+/// virtual processor dimension, the folded coordinate, or -1 when the
+/// array does not bind it.
+struct Partition {
+  struct Dim {
+    decomp::DistKind kind = decomp::DistKind::Serial;
+    int proc_dim = -1;
+    Int extent = 0;  ///< array extent along this dim
+    int procs = 1;   ///< grid extent of the processor dimension
+    Int block = 0;   ///< BLOCK: ceil(extent/procs); BLOCK-CYCLIC: given
+  };
+  std::vector<Dim> dims;
+  int num_proc_dims = 0;
+
+  /// Fold one coordinate of dimension `k`.
+  int fold(int k, Int idx) const;
+  /// Owner coordinates (-1 where unbound) of a full index vector.
+  std::vector<int> owner(std::span<const Int> index) const;
+};
+
+Partition make_partition(const ir::ArrayDecl& decl,
+                         const decomp::ArrayDecomposition& ad,
+                         std::span<const int> grid_extents, int num_proc_dims);
+
+// ---------------------------------------------------------------------------
+// Address-calculation cost model (Section 4.3)
+// ---------------------------------------------------------------------------
+
+/// How the generated SPMD code computes transformed-array subscripts.
+enum class AddrStrategy {
+  Naive,     ///< mod and div on every access
+  Hoisted,   ///< loop-invariant mod/div moved out of inner loops
+  Optimized  ///< strip-range recognition, peeling, strength reduction
+};
+
+/// Per-access integer-operation overhead (cycles) of computing the
+/// restructured address of `ref` inside `nest` under `strategy`. Derived
+/// analytically from which loop varies each transformed dimension and how
+/// often the strip boundaries are crossed; the same quantities the paper's
+/// optimizations (4.3) act on.
+double address_overhead(const ir::LoopNest& nest, const ir::ArrayRef& ref,
+                        const Layout& layout, AddrStrategy strategy);
+
+}  // namespace dct::layout

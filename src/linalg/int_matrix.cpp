@@ -1,0 +1,506 @@
+#include "linalg/int_matrix.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace dct::linalg {
+
+Int checked_add(Int a, Int b) {
+  Int r = 0;
+  DCT_CHECK(!__builtin_add_overflow(a, b, &r), "int64 add overflow");
+  return r;
+}
+
+Int checked_sub(Int a, Int b) {
+  Int r = 0;
+  DCT_CHECK(!__builtin_sub_overflow(a, b, &r), "int64 sub overflow");
+  return r;
+}
+
+Int checked_mul(Int a, Int b) {
+  Int r = 0;
+  DCT_CHECK(!__builtin_mul_overflow(a, b, &r), "int64 mul overflow");
+  return r;
+}
+
+Int gcd(Int a, Int b) {
+  a = std::abs(a);
+  b = std::abs(b);
+  while (b != 0) {
+    const Int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Int gcd(const Vec& v) {
+  Int g = 0;
+  for (Int x : v) g = gcd(g, x);
+  return g;
+}
+
+Int ext_gcd(Int a, Int b, Int& x, Int& y) {
+  if (b == 0) {
+    x = (a < 0) ? -1 : 1;
+    y = 0;
+    return std::abs(a);
+  }
+  Int x1 = 0, y1 = 0;
+  const Int g = ext_gcd(b, a % b, x1, y1);
+  x = y1;
+  y = checked_sub(x1, checked_mul(a / b, y1));
+  return g;
+}
+
+Int floor_div(Int a, Int b) {
+  DCT_CHECK(b != 0, "floor_div by zero");
+  Int q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+Int floor_mod(Int a, Int b) { return checked_sub(a, checked_mul(floor_div(a, b), b)); }
+
+// ---------------------------------------------------------------------------
+// IntMatrix basics
+// ---------------------------------------------------------------------------
+
+IntMatrix::IntMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0) {
+  DCT_CHECK(rows >= 0 && cols >= 0);
+}
+
+IntMatrix::IntMatrix(std::initializer_list<std::initializer_list<Int>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(rows.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * static_cast<size_t>(cols_));
+  for (const auto& r : rows) {
+    DCT_CHECK(static_cast<int>(r.size()) == cols_, "ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+IntMatrix IntMatrix::identity(int n) {
+  IntMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+IntMatrix IntMatrix::row_vector(const Vec& v) {
+  IntMatrix m(1, static_cast<int>(v.size()));
+  for (size_t i = 0; i < v.size(); ++i) m.at(0, static_cast<int>(i)) = v[i];
+  return m;
+}
+
+IntMatrix IntMatrix::col_vector(const Vec& v) {
+  IntMatrix m(static_cast<int>(v.size()), 1);
+  for (size_t i = 0; i < v.size(); ++i) m.at(static_cast<int>(i), 0) = v[i];
+  return m;
+}
+
+Int& IntMatrix::at(int r, int c) {
+  DCT_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index out of range");
+  return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+               static_cast<size_t>(c)];
+}
+
+Int IntMatrix::at(int r, int c) const {
+  DCT_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index out of range");
+  return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+               static_cast<size_t>(c)];
+}
+
+Vec IntMatrix::row(int r) const {
+  Vec v(static_cast<size_t>(cols_));
+  for (int c = 0; c < cols_; ++c) v[static_cast<size_t>(c)] = at(r, c);
+  return v;
+}
+
+Vec IntMatrix::col(int c) const {
+  Vec v(static_cast<size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) v[static_cast<size_t>(r)] = at(r, c);
+  return v;
+}
+
+void IntMatrix::set_row(int r, const Vec& v) {
+  DCT_CHECK(static_cast<int>(v.size()) == cols_, "row width mismatch");
+  for (int c = 0; c < cols_; ++c) at(r, c) = v[static_cast<size_t>(c)];
+}
+
+IntMatrix IntMatrix::transposed() const {
+  IntMatrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+IntMatrix IntMatrix::operator*(const IntMatrix& rhs) const {
+  DCT_CHECK(cols_ == rhs.rows_, "matmul shape mismatch");
+  IntMatrix out(rows_, rhs.cols_);
+  for (int r = 0; r < rows_; ++r)
+    for (int k = 0; k < cols_; ++k) {
+      const Int a = at(r, k);
+      if (a == 0) continue;
+      for (int c = 0; c < rhs.cols_; ++c)
+        out.at(r, c) = checked_add(out.at(r, c), checked_mul(a, rhs.at(k, c)));
+    }
+  return out;
+}
+
+Vec IntMatrix::operator*(const Vec& v) const {
+  DCT_CHECK(static_cast<int>(v.size()) == cols_, "matvec shape mismatch");
+  Vec out(static_cast<size_t>(rows_), 0);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c)
+      out[static_cast<size_t>(r)] =
+          checked_add(out[static_cast<size_t>(r)],
+                      checked_mul(at(r, c), v[static_cast<size_t>(c)]));
+  return out;
+}
+
+IntMatrix IntMatrix::operator+(const IntMatrix& rhs) const {
+  DCT_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  IntMatrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c)
+      out.at(r, c) = checked_add(at(r, c), rhs.at(r, c));
+  return out;
+}
+
+IntMatrix IntMatrix::operator-(const IntMatrix& rhs) const {
+  DCT_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch");
+  IntMatrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c)
+      out.at(r, c) = checked_sub(at(r, c), rhs.at(r, c));
+  return out;
+}
+
+IntMatrix IntMatrix::vstack(const IntMatrix& other) const {
+  if (empty() && rows_ == 0) {
+    if (cols_ == 0 || cols_ == other.cols_) return other;
+  }
+  DCT_CHECK(cols_ == other.cols_, "vstack width mismatch");
+  IntMatrix out(rows_ + other.rows_, cols_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+  for (int r = 0; r < other.rows_; ++r)
+    for (int c = 0; c < cols_; ++c) out.at(rows_ + r, c) = other.at(r, c);
+  return out;
+}
+
+IntMatrix IntMatrix::hstack(const IntMatrix& other) const {
+  DCT_CHECK(rows_ == other.rows_, "hstack height mismatch");
+  IntMatrix out(rows_, cols_ + other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+    for (int c = 0; c < other.cols_; ++c) out.at(r, cols_ + c) = other.at(r, c);
+  }
+  return out;
+}
+
+IntMatrix IntMatrix::submatrix(int r0, int r1, int c0, int c1) const {
+  DCT_CHECK(0 <= r0 && r0 <= r1 && r1 <= rows_, "bad row range");
+  DCT_CHECK(0 <= c0 && c0 <= c1 && c1 <= cols_, "bad col range");
+  IntMatrix out(r1 - r0, c1 - c0);
+  for (int r = r0; r < r1; ++r)
+    for (int c = c0; c < c1; ++c) out.at(r - r0, c - c0) = at(r, c);
+  return out;
+}
+
+void IntMatrix::swap_rows(int a, int b) {
+  for (int c = 0; c < cols_; ++c) std::swap(at(a, c), at(b, c));
+}
+
+void IntMatrix::scale_row(int r, Int s) {
+  for (int c = 0; c < cols_; ++c) at(r, c) = checked_mul(at(r, c), s);
+}
+
+void IntMatrix::add_scaled_row(int dst, int src, Int s) {
+  for (int c = 0; c < cols_; ++c)
+    at(dst, c) = checked_add(at(dst, c), checked_mul(at(src, c), s));
+}
+
+std::string IntMatrix::to_string() const {
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ") << "[";
+    for (int c = 0; c < cols_; ++c) os << (c ? " " : "") << at(r, c);
+    os << "]" << (r + 1 == rows_ ? "]" : "\n");
+  }
+  if (rows_ == 0) os << "[]";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Rational helper for exact elimination (matrices here are tiny).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Rat {
+  Int num = 0;
+  Int den = 1;
+
+  void normalize() {
+    DCT_CHECK(den != 0, "rational with zero denominator");
+    if (den < 0) {
+      num = checked_mul(num, -1);
+      den = checked_mul(den, -1);
+    }
+    const Int g = gcd(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+  }
+  bool is_zero() const { return num == 0; }
+};
+
+Rat make_rat(Int n, Int d = 1) {
+  Rat r{n, d};
+  r.normalize();
+  return r;
+}
+
+Rat operator*(const Rat& a, const Rat& b) {
+  return make_rat(checked_mul(a.num, b.num), checked_mul(a.den, b.den));
+}
+
+Rat operator-(const Rat& a, const Rat& b) {
+  return make_rat(
+      checked_sub(checked_mul(a.num, b.den), checked_mul(b.num, a.den)),
+      checked_mul(a.den, b.den));
+}
+
+Rat operator/(const Rat& a, const Rat& b) {
+  DCT_CHECK(!b.is_zero(), "rational division by zero");
+  return make_rat(checked_mul(a.num, b.den), checked_mul(a.den, b.num));
+}
+
+using RatMatrix = std::vector<std::vector<Rat>>;
+
+RatMatrix to_rat(const IntMatrix& m) {
+  RatMatrix out(static_cast<size_t>(m.rows()),
+                std::vector<Rat>(static_cast<size_t>(m.cols())));
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      out[static_cast<size_t>(r)][static_cast<size_t>(c)] = make_rat(m.at(r, c));
+  return out;
+}
+
+/// Row-reduce `m` in place; returns pivot column per pivot row.
+std::vector<int> rref(RatMatrix& m) {
+  std::vector<int> pivots;
+  if (m.empty()) return pivots;
+  const size_t nrows = m.size();
+  const size_t ncols = m[0].size();
+  size_t prow = 0;
+  for (size_t col = 0; col < ncols && prow < nrows; ++col) {
+    size_t sel = prow;
+    while (sel < nrows && m[sel][col].is_zero()) ++sel;
+    if (sel == nrows) continue;
+    std::swap(m[sel], m[prow]);
+    const Rat inv = make_rat(1) / m[prow][col];
+    for (size_t c = col; c < ncols; ++c) m[prow][c] = m[prow][c] * inv;
+    for (size_t r = 0; r < nrows; ++r) {
+      if (r == prow || m[r][col].is_zero()) continue;
+      const Rat f = m[r][col];
+      for (size_t c = col; c < ncols; ++c)
+        m[r][c] = m[r][c] - f * m[prow][c];
+    }
+    pivots.push_back(static_cast<int>(col));
+    ++prow;
+  }
+  return pivots;
+}
+
+}  // namespace
+
+int rank(const IntMatrix& m) {
+  if (m.empty()) return 0;
+  RatMatrix rm = to_rat(m);
+  return static_cast<int>(rref(rm).size());
+}
+
+// ---------------------------------------------------------------------------
+// Hermite normal form (row style): H = U * A.
+// ---------------------------------------------------------------------------
+
+HermiteForm hermite_normal_form(const IntMatrix& a) {
+  HermiteForm out;
+  out.h = a;
+  out.u = IntMatrix::identity(a.rows());
+  IntMatrix& h = out.h;
+  IntMatrix& u = out.u;
+
+  int prow = 0;
+  for (int col = 0; col < a.cols() && prow < a.rows(); ++col) {
+    // Reduce all entries below the pivot row into the pivot via gcd steps.
+    for (int r = prow + 1; r < a.rows(); ++r) {
+      if (h.at(r, col) == 0) continue;
+      if (h.at(prow, col) == 0) {
+        h.swap_rows(prow, r);
+        u.swap_rows(prow, r);
+        continue;
+      }
+      Int x = 0, y = 0;
+      const Int p = h.at(prow, col);
+      const Int q = h.at(r, col);
+      const Int g = ext_gcd(p, q, x, y);
+      // New pivot row = x*prow + y*r; new r row = -(q/g)*prow + (p/g)*r.
+      const Int pg = p / g;
+      const Int qg = q / g;
+      Vec new_p(static_cast<size_t>(h.cols()));
+      Vec new_r(static_cast<size_t>(h.cols()));
+      Vec new_up(static_cast<size_t>(u.cols()));
+      Vec new_ur(static_cast<size_t>(u.cols()));
+      for (int c = 0; c < h.cols(); ++c) {
+        new_p[static_cast<size_t>(c)] = checked_add(
+            checked_mul(x, h.at(prow, c)), checked_mul(y, h.at(r, c)));
+        new_r[static_cast<size_t>(c)] = checked_sub(
+            checked_mul(pg, h.at(r, c)), checked_mul(qg, h.at(prow, c)));
+      }
+      for (int c = 0; c < u.cols(); ++c) {
+        new_up[static_cast<size_t>(c)] = checked_add(
+            checked_mul(x, u.at(prow, c)), checked_mul(y, u.at(r, c)));
+        new_ur[static_cast<size_t>(c)] = checked_sub(
+            checked_mul(pg, u.at(r, c)), checked_mul(qg, u.at(prow, c)));
+      }
+      h.set_row(prow, new_p);
+      h.set_row(r, new_r);
+      u.set_row(prow, new_up);
+      u.set_row(r, new_ur);
+    }
+    if (h.at(prow, col) == 0) continue;
+    if (h.at(prow, col) < 0) {
+      h.scale_row(prow, -1);
+      u.scale_row(prow, -1);
+    }
+    // Reduce entries above the pivot modulo the pivot.
+    const Int piv = h.at(prow, col);
+    for (int r = 0; r < prow; ++r) {
+      const Int f = floor_div(h.at(r, col), piv);
+      if (f != 0) {
+        h.add_scaled_row(r, prow, -f);
+        u.add_scaled_row(r, prow, -f);
+      }
+    }
+    ++prow;
+  }
+  out.rank = prow;
+  return out;
+}
+
+IntMatrix null_space(const IntMatrix& a) {
+  // Kernel basis = bottom rows of the HNF transform of A^T:
+  //   H = U A^T  =>  A U^T = H^T; zero rows of H give A (U row)^T = 0.
+  if (a.cols() == 0) return IntMatrix(0, 0);
+  if (a.rows() == 0) return IntMatrix::identity(a.cols());
+  const HermiteForm hf = hermite_normal_form(a.transposed());
+  IntMatrix basis(a.cols() - hf.rank, a.cols());
+  for (int r = hf.rank; r < a.cols(); ++r) {
+    Vec v = hf.u.row(r);
+    const Int g = gcd(v);
+    if (g > 1)
+      for (Int& x : v) x /= g;
+    basis.set_row(r - hf.rank, v);
+  }
+  return basis;
+}
+
+Int determinant(const IntMatrix& m) {
+  DCT_CHECK(m.rows() == m.cols(), "determinant of non-square matrix");
+  const int n = m.rows();
+  if (n == 0) return 1;
+  RatMatrix rm = to_rat(m);
+  Rat det = make_rat(1);
+  for (int col = 0; col < n; ++col) {
+    int sel = col;
+    while (sel < n && rm[static_cast<size_t>(sel)][static_cast<size_t>(col)]
+                          .is_zero())
+      ++sel;
+    if (sel == n) return 0;
+    if (sel != col) {
+      std::swap(rm[static_cast<size_t>(sel)], rm[static_cast<size_t>(col)]);
+      det = det * make_rat(-1);
+    }
+    const Rat piv = rm[static_cast<size_t>(col)][static_cast<size_t>(col)];
+    det = det * piv;
+    for (int r = col + 1; r < n; ++r) {
+      const Rat f = rm[static_cast<size_t>(r)][static_cast<size_t>(col)] / piv;
+      if (f.is_zero()) continue;
+      for (int c = col; c < n; ++c)
+        rm[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+            rm[static_cast<size_t>(r)][static_cast<size_t>(c)] -
+            f * rm[static_cast<size_t>(col)][static_cast<size_t>(c)];
+    }
+  }
+  DCT_CHECK(det.den == 1, "integer determinant must be integral");
+  return det.num;
+}
+
+std::optional<RationalSolution> solve(const IntMatrix& a, const Vec& b) {
+  DCT_CHECK(static_cast<int>(b.size()) == a.rows(), "rhs size mismatch");
+  RatMatrix rm = to_rat(a.hstack(IntMatrix::col_vector(b)));
+  const std::vector<int> pivots = rref(rm);
+  const int n = a.cols();
+  // Inconsistent if a pivot lands in the augmented column.
+  for (int p : pivots)
+    if (p == n) return std::nullopt;
+  // Build a particular solution: pivot variables take the augmented value,
+  // free variables are zero.
+  std::vector<Rat> x(static_cast<size_t>(n), make_rat(0));
+  for (size_t i = 0; i < pivots.size(); ++i)
+    x[static_cast<size_t>(pivots[i])] = rm[i][static_cast<size_t>(n)];
+  Int denom = 1;
+  for (const Rat& r : x) denom = checked_mul(denom, r.den / gcd(denom, r.den));
+  RationalSolution out;
+  out.denom = denom;
+  out.x.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Rat& r = x[static_cast<size_t>(i)];
+    out.x[static_cast<size_t>(i)] = checked_mul(r.num, denom / r.den);
+  }
+  return out;
+}
+
+IntMatrix unimodular_completion(const IntMatrix& rows) {
+  const int k = rows.rows();
+  const int n = rows.cols();
+  DCT_CHECK(k <= n, "more rows than columns");
+  DCT_CHECK(rank(rows) == k, "rows must be linearly independent");
+  if (k == n) {
+    DCT_CHECK(std::abs(determinant(rows)) == 1,
+              "square input must already be unimodular");
+    return rows;
+  }
+  // Column-style HNF: rows * V = [H | 0] with V unimodular. When |det H| is
+  // 1 the row lattice is saturated and W = [rows ; bottom rows of V^{-1}]
+  // is unimodular.
+  const HermiteForm hf = hermite_normal_form(rows.transposed());
+  const IntMatrix v = hf.u.transposed();  // rows * v = hf.h^T
+  const IntMatrix h = hf.h.transposed().submatrix(0, k, 0, k);
+  DCT_CHECK(std::abs(determinant(h)) == 1,
+            "row lattice not saturated; no unimodular completion exists");
+  // Invert V column by column (denominators must be 1 since det(V) = ±1).
+  IntMatrix vinv(n, n);
+  for (int c = 0; c < n; ++c) {
+    Vec e(static_cast<size_t>(n), 0);
+    e[static_cast<size_t>(c)] = 1;
+    const auto sol = solve(v, e);
+    DCT_CHECK(sol.has_value() && sol->denom == 1, "unimodular inverse failed");
+    for (int r = 0; r < n; ++r) vinv.at(r, c) = sol->x[static_cast<size_t>(r)];
+  }
+  IntMatrix out = rows.vstack(vinv.submatrix(k, n, 0, n));
+  DCT_CHECK(std::abs(determinant(out)) == 1, "completion is not unimodular");
+  return out;
+}
+
+}  // namespace dct::linalg

@@ -1,0 +1,327 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+
+namespace dct::runtime {
+
+using core::CompiledProgram;
+using core::CompiledRef;
+using core::CompiledStmt;
+
+namespace {
+
+/// Deterministic initial value of one array element, identical across
+/// layouts and modes (keyed by the element's ORIGINAL linear index).
+double init_value(std::uint64_t seed, int array, Int orig_linear) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(array + 1) << 40) ^
+          static_cast<std::uint64_t>(orig_linear));
+  return 1.0 + rng.uniform01();  // in [1, 2): safe divisor
+}
+
+/// Walk an array's original index space in linear (column-major) order.
+template <typename Fn>
+void for_each_element(const ir::ArrayDecl& decl, Fn&& fn) {
+  const int rank = static_cast<int>(decl.dims.size());
+  std::vector<Int> idx(static_cast<size_t>(rank), 0);
+  Int linear = 0;
+  bool done = false;
+  while (!done) {
+    fn(std::span<const Int>(idx), linear);
+    ++linear;
+    int k = 0;
+    while (k < rank) {
+      if (++idx[static_cast<size_t>(k)] < decl.dims[static_cast<size_t>(k)])
+        break;
+      idx[static_cast<size_t>(k)] = 0;
+      ++k;
+    }
+    if (k == rank) done = true;
+  }
+}
+
+struct ArrayState {
+  std::vector<double> data;    ///< by restructured element address
+  std::vector<double> wtime;   ///< last write completion time
+  std::vector<std::int8_t> wproc;  ///< last writer, -1 = initial data
+};
+
+}  // namespace
+
+RunResult simulate(const CompiledProgram& cp,
+                   const machine::MachineConfig& mcfg,
+                   const ExecOptions& opts) {
+  DCT_CHECK(mcfg.procs == cp.procs, "machine/compile processor mismatch");
+  machine::Machine machine(mcfg);
+  const int P = cp.procs;
+  const ir::Program& prog = cp.program;
+
+  // Mixed-radix strides per virtual dimension (same rule as the compiler).
+  std::vector<int> stride(static_cast<size_t>(cp.dec.num_proc_dims), 1);
+  for (int pd = 0; pd < cp.dec.num_proc_dims; ++pd)
+    for (int q = 0; q < pd; ++q)
+      if (cp.dec.clique_id[static_cast<size_t>(q)] ==
+          cp.dec.clique_id[static_cast<size_t>(pd)])
+        stride[static_cast<size_t>(pd)] *= cp.grid[static_cast<size_t>(q)];
+
+  auto owner_of_coords = [&](const std::vector<int>& coords) {
+    int proc = 0;
+    for (size_t pd = 0; pd < coords.size(); ++pd)
+      if (coords[pd] >= 0) proc += coords[pd] * stride[pd];
+    return std::min(proc, P - 1);
+  };
+
+  // ---- array state + page homing ----
+  std::vector<ArrayState> state(prog.arrays.size());
+  for (size_t a = 0; a < prog.arrays.size(); ++a) {
+    const core::CompiledArray& ca = cp.arrays[a];
+    const ir::ArrayDecl& decl = prog.arrays[a];
+    state[a].data.assign(static_cast<size_t>(ca.layout.size()), 0.0);
+    state[a].wtime.assign(state[a].data.size(), 0.0);
+    state[a].wproc.assign(state[a].data.size(), -1);
+
+    const bool distributed =
+        !ca.replicated &&
+        std::any_of(ca.part.dims.begin(), ca.part.dims.end(),
+                    [](const auto& d) { return d.proc_dim >= 0; });
+    const Int pages = ca.bytes / mcfg.page_bytes;
+    std::vector<std::pair<Int, int>> page_owner(
+        static_cast<size_t>(pages), {INT64_MAX, -1});
+    for_each_element(decl, [&](std::span<const Int> idx, Int) {
+      const Int lin = ca.layout.linearize(idx);
+      state[a].data[static_cast<size_t>(lin)] =
+          init_value(opts.init_seed, static_cast<int>(a),
+                     // original linear index for layout-independence
+                     [&] {
+                       Int l = 0, s = 1;
+                       for (size_t k = 0; k < idx.size(); ++k) {
+                         l += idx[k] * s;
+                         s *= decl.dims[k];
+                       }
+                       return l;
+                     }());
+      if (!distributed) return;
+      const Int byte = lin * decl.elem_size;
+      const Int page = byte / mcfg.page_bytes;
+      auto& po = page_owner[static_cast<size_t>(page)];
+      if (byte < po.first)
+        po = {byte, owner_of_coords(ca.part.owner(idx))};
+    });
+    if (ca.replicated) {
+      for (int c = 0; c < mcfg.clusters(); ++c)
+        for (Int pg = 0; pg < pages; ++pg)
+          machine.home_page(ca.base_addr + c * ca.bytes +
+                                pg * mcfg.page_bytes,
+                            c);
+    } else if (distributed) {
+      for (Int pg = 0; pg < pages; ++pg) {
+        const int owner = page_owner[static_cast<size_t>(pg)].second;
+        if (owner >= 0)
+          machine.home_page(ca.base_addr + pg * mcfg.page_bytes,
+                            mcfg.cluster_of(owner));
+      }
+    }
+    // Base mode / serial arrays: left to round-robin first touch.
+  }
+
+  // ---- execution ----
+  RunResult res;
+  res.proc_cycles.assign(static_cast<size_t>(P), 0.0);
+  std::vector<double>& clock = res.proc_cycles;
+
+  std::vector<Int> scratch(8, 0);
+  std::vector<double> vals(16, 0.0);
+
+  auto run_nest = [&](const core::CompiledNest& cn) {
+    const int d = static_cast<int>(cn.nest.loops.size());
+    if (d == 0) return;
+    std::vector<Int> iter(static_cast<size_t>(d)), lb(static_cast<size_t>(d)),
+        ub(static_cast<size_t>(d));
+
+    auto body = [&]() {
+      for (const CompiledStmt& cs : cn.stmts) {
+        if (cs.depth < d) {
+          bool first = true;
+          for (int k = cs.depth; k < d && first; ++k)
+            first = iter[static_cast<size_t>(k)] == lb[static_cast<size_t>(k)];
+          if (!first) continue;
+        }
+        int q = 0;
+        for (const auto& [loop, fold] : cs.owner)
+          q += fold.fold(iter[static_cast<size_t>(loop)]) * fold.stride;
+        if (q >= P) q = P - 1;
+
+        double t = clock[static_cast<size_t>(q)] + cs.compute_cycles;
+        const int cluster = mcfg.cluster_of(q);
+
+        auto element_addr = [&](const CompiledRef& ref) {
+          for (int r = 0; r < ref.rank; ++r) {
+            Int v = ref.offsets[static_cast<size_t>(r)];
+            const Int* row =
+                ref.coeffs.data() + static_cast<size_t>(r) *
+                                        static_cast<size_t>(d);
+            for (int k = 0; k < d; ++k) v += row[k] * iter[static_cast<size_t>(k)];
+            scratch[static_cast<size_t>(r)] = v;
+          }
+          return cp.arrays[static_cast<size_t>(ref.array)].layout.linearize(
+              std::span<const Int>(scratch.data(),
+                                   static_cast<size_t>(ref.rank)));
+        };
+
+        size_t vi = 0;
+        for (const CompiledRef& ref : cs.reads) {
+          const core::CompiledArray& ca =
+              cp.arrays[static_cast<size_t>(ref.array)];
+          const Int lin = element_addr(ref);
+          ArrayState& as = state[static_cast<size_t>(ref.array)];
+          // Cross-processor dataflow.
+          const std::int8_t wp = as.wproc[static_cast<size_t>(lin)];
+          if (wp >= 0 && wp != q) {
+            const double wt = as.wtime[static_cast<size_t>(lin)];
+            if (wt > t) {
+              res.wait_cycles += wt - t;
+              t = wt + mcfg.lock_cycles;
+            }
+          }
+          Int byte = ca.base_addr +
+                     lin * prog.arrays[static_cast<size_t>(ref.array)].elem_size;
+          if (ca.replicated) byte += static_cast<Int>(cluster) * ca.bytes;
+          t += machine.access(q, byte, false) + ref.addr_overhead;
+          vals[vi++] = as.data[static_cast<size_t>(lin)];
+        }
+        for (const CompiledRef& ref : cs.writes) {
+          const core::CompiledArray& ca =
+              cp.arrays[static_cast<size_t>(ref.array)];
+          DCT_CHECK(!ca.replicated, "write to replicated array");
+          const Int lin = element_addr(ref);
+          ArrayState& as = state[static_cast<size_t>(ref.array)];
+          const Int byte =
+              ca.base_addr +
+              lin * prog.arrays[static_cast<size_t>(ref.array)].elem_size;
+          t += machine.access(q, byte, true) + ref.addr_overhead;
+          if (cs.eval)
+            as.data[static_cast<size_t>(lin)] =
+                cs.eval(std::span<const double>(vals.data(), vi));
+          as.wproc[static_cast<size_t>(lin)] = static_cast<std::int8_t>(q);
+          as.wtime[static_cast<size_t>(lin)] = t;
+        }
+        clock[static_cast<size_t>(q)] = t;
+        ++res.statements;
+      }
+    };
+
+    int level = 0;
+    iter[0] = lb[0] = cn.nest.loops[0].lower_bound(iter);
+    ub[0] = cn.nest.loops[0].upper_bound(iter);
+    while (level >= 0) {
+      if (iter[static_cast<size_t>(level)] > ub[static_cast<size_t>(level)]) {
+        --level;
+        if (level >= 0) ++iter[static_cast<size_t>(level)];
+        continue;
+      }
+      if (level == d - 1) {
+        body();
+        ++iter[static_cast<size_t>(level)];
+      } else {
+        ++level;
+        iter[static_cast<size_t>(level)] = lb[static_cast<size_t>(level)] =
+            cn.nest.loops[static_cast<size_t>(level)].lower_bound(iter);
+        ub[static_cast<size_t>(level)] =
+            cn.nest.loops[static_cast<size_t>(level)].upper_bound(iter);
+      }
+    }
+  };
+
+  for (int step = 0; step < prog.time_steps; ++step) {
+    for (size_t j = 0; j < cp.nests.size(); ++j) {
+      run_nest(cp.nests[j]);
+      const bool last =
+          step == prog.time_steps - 1 && j == cp.nests.size() - 1;
+      if (P > 1 && (cp.nests[j].barrier_after || last)) {
+        const double m = *std::max_element(clock.begin(), clock.end());
+        const double bc = machine.barrier_cost(P);
+        for (double& c : clock) c = m + bc;
+        res.barrier_cycles += bc;
+      }
+    }
+  }
+
+  res.cycles = *std::max_element(clock.begin(), clock.end());
+  res.mem = machine.total_stats();
+
+  if (opts.collect_values) {
+    res.values.resize(prog.arrays.size());
+    for (size_t a = 0; a < prog.arrays.size(); ++a) {
+      const ir::ArrayDecl& decl = prog.arrays[a];
+      res.values[a].resize(static_cast<size_t>(decl.elem_count()));
+      for_each_element(decl, [&](std::span<const Int> idx, Int linear) {
+        res.values[a][static_cast<size_t>(linear)] =
+            state[a].data[static_cast<size_t>(
+                cp.arrays[a].layout.linearize(idx))];
+      });
+    }
+  }
+  return res;
+}
+
+std::vector<std::vector<double>> run_reference(const ir::Program& prog,
+                                               std::uint64_t init_seed) {
+  std::vector<std::vector<double>> data(prog.arrays.size());
+  for (size_t a = 0; a < prog.arrays.size(); ++a) {
+    const ir::ArrayDecl& decl = prog.arrays[a];
+    data[a].resize(static_cast<size_t>(decl.elem_count()));
+    for (Int l = 0; l < decl.elem_count(); ++l)
+      data[a][static_cast<size_t>(l)] =
+          init_value(init_seed, static_cast<int>(a), l);
+  }
+  auto linear_of = [&](const ir::ArrayDecl& decl, std::span<const Int> idx) {
+    Int l = 0, s = 1;
+    for (size_t k = 0; k < idx.size(); ++k) {
+      l += idx[k] * s;
+      s *= decl.dims[k];
+    }
+    return l;
+  };
+
+  std::vector<double> vals(16);
+  for (int step = 0; step < prog.time_steps; ++step) {
+    for (const ir::LoopNest& nest : prog.nests) {
+      const int d = nest.depth();
+      // Track lower bounds for imperfect-nest statement gating.
+      std::vector<Int> lbs(static_cast<size_t>(d));
+      ir::for_each_iteration(nest, [&](std::span<const Int> iter) {
+        for (int k = 0; k < d; ++k) {
+          // Recompute lower bound at this prefix (cheap: bounds are tiny).
+          lbs[static_cast<size_t>(k)] =
+              nest.loops[static_cast<size_t>(k)].lower_bound(iter);
+        }
+        for (const ir::Stmt& s : nest.stmts) {
+          const int sd = s.effective_depth(d);
+          bool first = true;
+          for (int k = sd; k < d && first; ++k)
+            first = iter[static_cast<size_t>(k)] == lbs[static_cast<size_t>(k)];
+          if (!first) continue;
+          size_t vi = 0;
+          for (const ir::ArrayRef& r : s.reads) {
+            const auto idx = r.index(iter);
+            vals[vi++] = data[static_cast<size_t>(r.array)][static_cast<size_t>(
+                linear_of(prog.arrays[static_cast<size_t>(r.array)], idx))];
+          }
+          if (s.write && s.eval) {
+            const auto idx = s.write->index(iter);
+            data[static_cast<size_t>(s.write->array)][static_cast<size_t>(
+                linear_of(prog.arrays[static_cast<size_t>(s.write->array)],
+                          idx))] =
+                s.eval(std::span<const double>(vals.data(), vi));
+          }
+        }
+      });
+    }
+  }
+  return data;
+}
+
+}  // namespace dct::runtime

@@ -1,0 +1,54 @@
+// SPMD execution engine over the machine simulator.
+//
+// Statement instances execute on their owner processor (owner-computes,
+// per-statement as produced by the decomposition). The engine walks the
+// iteration space in program order, keeps a clock per processor, and
+// enforces cross-processor dataflow: a read of a value written by another
+// processor waits for the writer's completion time (plus a hand-off cost)
+// — pipelined doacross schedules and the LU pivot broadcast fall out of
+// this rule without special cases. Barriers separate nests unless the
+// decomposition proved them redundant.
+//
+// The engine also evaluates every statement numerically, so the same run
+// that measures performance verifies that the transformed program
+// computes bit-identical results to the sequential reference.
+#pragma once
+
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "machine/machine.hpp"
+
+namespace dct::runtime {
+
+using linalg::Int;
+
+struct RunResult {
+  double cycles = 0;  ///< parallel completion time (max processor clock)
+  std::vector<double> proc_cycles;
+  machine::ProcStats mem;  ///< aggregated over processors
+  double barrier_cycles = 0;
+  double wait_cycles = 0;  ///< cross-processor dataflow stalls
+  long long statements = 0;
+  /// Final contents of every array, indexed by the ORIGINAL element order
+  /// (layout-independent, for bit-exact comparison across modes).
+  std::vector<std::vector<double>> values;
+};
+
+struct ExecOptions {
+  bool collect_values = true;  ///< fill RunResult::values
+  std::uint64_t init_seed = 42;
+};
+
+/// Simulate the compiled program on the machine. `mcfg.procs` must match
+/// the compiled processor count.
+RunResult simulate(const core::CompiledProgram& cp,
+                   const machine::MachineConfig& mcfg,
+                   const ExecOptions& opts = {});
+
+/// Sequential reference execution (no machine model): returns the final
+/// array contents in original element order.
+std::vector<std::vector<double>> run_reference(const ir::Program& prog,
+                                               std::uint64_t init_seed = 42);
+
+}  // namespace dct::runtime

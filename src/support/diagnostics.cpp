@@ -1,0 +1,15 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace dct::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace dct::detail

@@ -1,0 +1,39 @@
+// Diagnostics: checked assertions and error reporting for the dct library.
+//
+// DCT_CHECK is used to validate internal invariants and user-supplied
+// arguments alike; it throws dct::Error (never aborts) so library users can
+// recover and tests can assert on failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dct {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  check_failed(expr, file, line, std::string());
+}
+}  // namespace detail
+
+}  // namespace dct
+
+/// Validate `cond`; on failure throw dct::Error mentioning the expression,
+/// source location and the optional message given as the second argument
+/// (any std::string expression).
+#define DCT_CHECK(cond, ...)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dct::detail::check_failed(#cond, __FILE__,                         \
+                                  __LINE__ __VA_OPT__(, ) __VA_ARGS__);    \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,18 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace dct {
+
+long env_int(const char* name, long def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v) return def;
+  return parsed;
+}
+
+long repro_scale() { return env_int("REPRO_SCALE", 1); }
+
+}  // namespace dct

@@ -1,0 +1,17 @@
+// Environment-variable configuration used by the benchmark harnesses.
+#pragma once
+
+#include <string>
+
+namespace dct {
+
+/// Read an integer environment variable, falling back to `def` when unset
+/// or unparsable.
+long env_int(const char* name, long def);
+
+/// Global workload scale factor (env REPRO_SCALE, default 1). Benches
+/// multiply their default problem sizes by this to approach the paper's
+/// original dataset sizes (REPRO_SCALE=4 reproduces most of them exactly).
+long repro_scale();
+
+}  // namespace dct

@@ -1,0 +1,39 @@
+// Small string-building helpers (gcc 12 has no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dct {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] inline std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+/// Join the elements of `items` with `sep`, using operator<< to print each.
+template <typename Range>
+std::string join(const Range& items, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+}  // namespace dct

@@ -1,0 +1,103 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/str.hpp"
+
+namespace dct {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  DCT_CHECK(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      os << std::string(width[c] - row[c].size(), ' ') << row[c] << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (size_t c = 0; c < header_.size(); ++c)
+    os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string render_speedup_chart(const std::string& title,
+                                 const std::vector<int>& xs,
+                                 const std::vector<Series>& series,
+                                 int height) {
+  static const char kGlyphs[] = {'b', 'c', 'd', 'e', 'f'};
+  double ymax = xs.empty() ? 1.0 : static_cast<double>(xs.back());
+  for (const auto& s : series)
+    for (double v : s.values) ymax = std::max(ymax, v);
+  ymax = std::max(ymax, 1.0);
+
+  const int width = static_cast<int>(xs.size()) * 4 + 2;
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  auto plot = [&](double x01, double y, char g) {
+    const int col = 1 + static_cast<int>(std::lround(
+                            x01 * (static_cast<double>(width) - 3.0)));
+    int row = height - 1 -
+              static_cast<int>(std::lround(y / ymax *
+                                           (static_cast<double>(height) - 1)));
+    row = std::clamp(row, 0, height - 1);
+    grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = g;
+  };
+
+  // Ideal linear-speedup diagonal.
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x01 =
+        xs.size() == 1 ? 0.0
+                       : static_cast<double>(i) /
+                             (static_cast<double>(xs.size()) - 1.0);
+    plot(x01, static_cast<double>(xs[i]), '.');
+  }
+  for (size_t s = 0; s < series.size(); ++s) {
+    for (size_t i = 0; i < xs.size() && i < series[s].values.size(); ++i) {
+      const double x01 =
+          xs.size() == 1 ? 0.0
+                         : static_cast<double>(i) /
+                               (static_cast<double>(xs.size()) - 1.0);
+      plot(x01, series[s].values[i], kGlyphs[s % sizeof(kGlyphs)]);
+    }
+  }
+
+  std::ostringstream os;
+  os << title << '\n';
+  for (int r = 0; r < height; ++r) {
+    const double yval =
+        ymax * (static_cast<double>(height - 1 - r) /
+                (static_cast<double>(height) - 1.0));
+    os << strf("%6.1f |", yval) << grid[static_cast<size_t>(r)] << '\n';
+  }
+  os << "       +" << std::string(static_cast<size_t>(width), '-') << '\n';
+  os << "        ";
+  for (size_t i = 0; i < xs.size(); ++i) os << strf("%-4d", xs[i]);
+  os << " processors\n";
+  os << "  legend: '.' linear";
+  for (size_t s = 0; s < series.size(); ++s)
+    os << strf("  '%c' %s", kGlyphs[s % sizeof(kGlyphs)],
+               series[s].label.c_str());
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace dct

@@ -1,0 +1,38 @@
+// ASCII table and speedup-curve rendering for the benchmark harnesses.
+// Benches print the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dct {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One line series of a speedup figure: label + y value per x position.
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Render a paper-style speedup figure as an ASCII chart: x axis is
+/// `xs` (processor counts), y axis is speedup, one glyph per series, plus
+/// the ideal linear-speedup diagonal for reference.
+std::string render_speedup_chart(const std::string& title,
+                                 const std::vector<int>& xs,
+                                 const std::vector<Series>& series,
+                                 int height = 18);
+
+}  // namespace dct

@@ -1,0 +1,133 @@
+// Tests for the SPMD execution engine: determinism, clock/sync behaviour,
+// page homing, and failure injection.
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "core/compiler.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dct::runtime {
+namespace {
+
+using core::Mode;
+
+TEST(Executor, Deterministic) {
+  const ir::Program prog = apps::stencil5(24, 2);
+  const auto cp = core::compile(prog, Mode::Full, 8);
+  const auto a = simulate(cp, machine::MachineConfig::dash(8));
+  const auto b = simulate(cp, machine::MachineConfig::dash(8));
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.mem.accesses, b.mem.accesses);
+}
+
+TEST(Executor, ProcMismatchRejected) {
+  const auto cp = core::compile(apps::figure1(16, 1), Mode::Base, 4);
+  EXPECT_THROW(simulate(cp, machine::MachineConfig::dash(8)), Error);
+}
+
+TEST(Executor, SingleProcessorHasNoSyncCost) {
+  const auto cp = core::compile(apps::figure1(32, 2), Mode::Base, 1);
+  const auto r = simulate(cp, machine::MachineConfig::dash(1));
+  EXPECT_EQ(r.barrier_cycles, 0);
+  EXPECT_EQ(r.wait_cycles, 0);
+}
+
+TEST(Executor, MoreProcessorsNotSlowerOnParallelCode) {
+  runtime::ExecOptions opts;
+  opts.collect_values = false;
+  const ir::Program prog = apps::figure1(128, 2);
+  double prev = 1e300;
+  for (int p : {1, 2, 4, 8}) {
+    const auto r = simulate(core::compile(prog, Mode::Full, p),
+                            machine::MachineConfig::dash(p), opts);
+    EXPECT_LT(r.cycles, prev * 1.05) << "p=" << p;
+    prev = r.cycles;
+  }
+}
+
+TEST(Executor, PipelineWaitsAreVisible) {
+  // ADI's row sweep pipelines: cross-processor waits must appear.
+  const auto cp = core::compile(apps::adi(48, 2), Mode::Full, 8);
+  const auto r = simulate(cp, machine::MachineConfig::dash(8));
+  EXPECT_GT(r.wait_cycles, 0);
+}
+
+TEST(Executor, StatementCountMatchesIterationSpace) {
+  const ir::Program prog = apps::lu(12);
+  const auto cp = core::compile(prog, Mode::Base, 2);
+  const auto r = simulate(cp, machine::MachineConfig::dash(2));
+  // LU: divide once per (I1,I2) pair, update once per (I1,I2,I3).
+  long long expected = 0;
+  for (linalg::Int i1 = 0; i1 <= 10; ++i1) {
+    const linalg::Int span = 11 - i1;
+    expected += span + span * span;
+  }
+  EXPECT_EQ(r.statements, expected);
+}
+
+TEST(Executor, ReferenceMatchesSimulatorOnOneProc) {
+  const ir::Program prog = apps::tomcatv(18, 2);
+  const auto reference = run_reference(prog);
+  const auto r = simulate(core::compile(prog, Mode::Base, 1),
+                          machine::MachineConfig::dash(1));
+  EXPECT_EQ(reference, r.values);
+}
+
+TEST(Executor, NonTransformableArrayKeptInPlace) {
+  // Section 4.1.3 failure injection: an aliased/reshaped array must not
+  // be restructured, and the program must still run correctly.
+  ir::ProgramBuilder pb("legality");
+  const int a = pb.array("A", {32, 32}, 8, /*transformable=*/false);
+  ir::LoopNest& nest = pb.nest("touch", 1);
+  nest.loops.push_back(ir::loop("J", ir::cst(0), ir::cst(31)));
+  nest.loops.push_back(ir::loop("I", ir::cst(0), ir::cst(31)));
+  ir::Stmt s;
+  s.write = ir::simple_ref(a, 2, {{1, 0}, {0, 0}});
+  s.reads = {ir::simple_ref(a, 2, {{1, 0}, {0, 0}})};
+  s.eval = [](std::span<const double> r) { return r[0] * 2.0; };
+  nest.stmts.push_back(std::move(s));
+  const ir::Program prog = pb.build();
+
+  const auto cp = core::compile(prog, Mode::Full, 4);
+  EXPECT_TRUE(cp.arrays[0].layout.is_identity());
+  const auto reference = run_reference(prog);
+  const auto r = simulate(cp, machine::MachineConfig::dash(4));
+  EXPECT_EQ(reference, r.values);
+}
+
+TEST(Executor, DegenerateSizes) {
+  // 1x1 arrays, single-iteration loops, more processors than iterations.
+  ir::ProgramBuilder pb("tiny");
+  const int a = pb.array("A", {1, 1}, 8);
+  ir::LoopNest& nest = pb.nest("one", 1);
+  nest.loops.push_back(ir::loop("I", ir::cst(0), ir::cst(0)));
+  ir::Stmt s;
+  s.write = ir::simple_ref(a, 1, {{0, 0}, {-1, 0}});
+  s.reads = {ir::simple_ref(a, 1, {{0, 0}, {-1, 0}})};
+  s.eval = [](std::span<const double> r) { return r[0] + 1.0; };
+  nest.stmts.push_back(std::move(s));
+  const ir::Program prog = pb.build();
+  for (core::Mode mode : {Mode::Base, Mode::CompDecomp, Mode::Full}) {
+    const auto cp = core::compile(prog, mode, 8);
+    const auto r = simulate(cp, machine::MachineConfig::dash(8));
+    EXPECT_EQ(r.statements, 1);
+  }
+}
+
+TEST(Executor, AddressStrategyChangesTimeNotValues) {
+  const ir::Program prog = apps::lu(24);
+  const auto naive = simulate(
+      core::compile(prog, Mode::Full, 4, layout::AddrStrategy::Naive),
+      machine::MachineConfig::dash(4));
+  const auto opt = simulate(
+      core::compile(prog, Mode::Full, 4, layout::AddrStrategy::Optimized),
+      machine::MachineConfig::dash(4));
+  EXPECT_EQ(naive.values, opt.values);
+  EXPECT_GT(naive.cycles, opt.cycles);  // Section 4.3: overhead matters
+}
+
+}  // namespace
+}  // namespace dct::runtime

@@ -1,0 +1,74 @@
+// Tests for the experiment harness (sweeps, figure rendering, Table 1).
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "support/diagnostics.hpp"
+#include "support/table.hpp"
+
+namespace dct::core {
+namespace {
+
+TEST(Experiment, SweepBasics) {
+  SweepOptions opts;
+  opts.procs = {1, 2, 4};
+  const SweepResult r = run_sweep(apps::figure1(32, 2), opts);
+  ASSERT_EQ(r.speedups.size(), 3u);
+  for (const auto& series : r.speedups) {
+    ASSERT_EQ(series.size(), 3u);
+    for (double s : series) EXPECT_GT(s, 0.0);
+  }
+  EXPECT_GT(r.seq_cycles, 0.0);
+  // BASE at P=1 is the reference: speedup exactly 1.
+  EXPECT_DOUBLE_EQ(r.speedups[0][0], 1.0);
+}
+
+TEST(Experiment, VerificationCatchesNothingOnLegalPrograms) {
+  SweepOptions opts;
+  opts.procs = {2};
+  opts.verify = true;  // throws if any mode changes results
+  EXPECT_NO_THROW(run_sweep(apps::stencil5(12, 2), opts));
+}
+
+TEST(Experiment, RenderSweepContainsAllSeries) {
+  SweepOptions opts;
+  opts.procs = {1, 4};
+  const SweepResult r = run_sweep(apps::figure1(24, 1), opts);
+  const std::string text = render_sweep("demo", r);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("base"), std::string::npos);
+  EXPECT_NE(text.find("comp decomp"), std::string::npos);
+  EXPECT_NE(text.find("data transform"), std::string::npos);
+  EXPECT_NE(text.find("memory behaviour"), std::string::npos);
+}
+
+TEST(Experiment, Table1RowFields) {
+  const Table1Row row = table1_row("fig1", apps::figure1(48, 2), 8);
+  EXPECT_EQ(row.program, "fig1");
+  EXPECT_GT(row.base_speedup, 0.0);
+  EXPECT_GT(row.full_speedup, 0.0);
+  EXPECT_NE(row.decompositions.find("BLOCK"), std::string::npos);
+  const std::string table = render_table1({row});
+  EXPECT_NE(table.find("fig1"), std::string::npos);
+}
+
+TEST(Experiment, ChartRendering) {
+  const std::string chart = render_speedup_chart(
+      "title", {1, 2, 4}, {Series{"s1", {1.0, 2.0, 4.0}}});
+  EXPECT_NE(chart.find("title"), std::string::npos);
+  EXPECT_NE(chart.find("processors"), std::string::npos);
+  EXPECT_NE(chart.find("s1"), std::string::npos);
+}
+
+TEST(Experiment, TableAlignment) {
+  Table t({"a", "bbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"100", "20000"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| 100 | 20000 |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace dct::core

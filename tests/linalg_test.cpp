@@ -1,0 +1,213 @@
+// Unit and property tests for the exact integer linear algebra substrate.
+#include "linalg/int_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+
+namespace dct::linalg {
+namespace {
+
+TEST(CheckedArith, OverflowThrows) {
+  EXPECT_THROW(checked_mul(INT64_MAX, 2), Error);
+  EXPECT_THROW(checked_add(INT64_MAX, 1), Error);
+  EXPECT_THROW(checked_sub(INT64_MIN, 1), Error);
+  EXPECT_EQ(checked_mul(1'000'000, 1'000'000), 1'000'000'000'000);
+}
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(0, 7), 7);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(Vec{4, -6, 10}), 2);
+  EXPECT_EQ(gcd(Vec{}), 0);
+}
+
+TEST(ExtGcd, BezoutIdentity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Int a = rng.uniform(-1000, 1000);
+    const Int b = rng.uniform(-1000, 1000);
+    Int x = 0, y = 0;
+    const Int g = ext_gcd(a, b, x, y);
+    EXPECT_EQ(g, gcd(a, b));
+    EXPECT_EQ(a * x + b * y, g);
+  }
+}
+
+TEST(FloorOps, MatchMathematicalDefinition) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_mod(-7, 2), 1);
+  EXPECT_EQ(floor_mod(7, 4), 3);
+  EXPECT_THROW(floor_div(1, 0), Error);
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Int a = rng.uniform(-100, 100);
+    const Int b = rng.uniform(1, 20);
+    const Int q = floor_div(a, b);
+    const Int m = floor_mod(a, b);
+    EXPECT_EQ(q * b + m, a);
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, b);
+  }
+}
+
+TEST(IntMatrix, ConstructionAndAccess) {
+  IntMatrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.at(1, 2), 6);
+  EXPECT_EQ(m.row(0), (Vec{1, 2, 3}));
+  EXPECT_EQ(m.col(1), (Vec{2, 5}));
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 3), Error);
+}
+
+TEST(IntMatrix, MulAndTranspose) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  IntMatrix b{{0, 1}, {1, 0}};
+  EXPECT_EQ(a * b, (IntMatrix{{2, 1}, {4, 3}}));
+  EXPECT_EQ(a.transposed(), (IntMatrix{{1, 3}, {2, 4}}));
+  EXPECT_EQ(a * Vec({1, 1}), (Vec{3, 7}));
+  EXPECT_EQ(IntMatrix::identity(2) * a, a);
+}
+
+TEST(IntMatrix, StackAndSubmatrix) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  IntMatrix b{{5, 6}};
+  EXPECT_EQ(a.vstack(b), (IntMatrix{{1, 2}, {3, 4}, {5, 6}}));
+  EXPECT_EQ(a.hstack(a).cols(), 4);
+  EXPECT_EQ(a.vstack(b).submatrix(1, 3, 0, 2), (IntMatrix{{3, 4}, {5, 6}}));
+}
+
+TEST(Rank, Basics) {
+  EXPECT_EQ(rank(IntMatrix{{1, 2}, {2, 4}}), 1);
+  EXPECT_EQ(rank(IntMatrix{{1, 0}, {0, 1}}), 2);
+  EXPECT_EQ(rank(IntMatrix(3, 3)), 0);
+  EXPECT_EQ(rank(IntMatrix{{2, 4, 6}, {1, 2, 3}, {0, 0, 1}}), 2);
+}
+
+TEST(Determinant, Basics) {
+  EXPECT_EQ(determinant(IntMatrix{{2, 0}, {0, 3}}), 6);
+  EXPECT_EQ(determinant(IntMatrix{{0, 1}, {1, 0}}), -1);
+  EXPECT_EQ(determinant(IntMatrix{{1, 2}, {2, 4}}), 0);
+  EXPECT_EQ(determinant(IntMatrix::identity(5)), 1);
+  EXPECT_THROW(determinant(IntMatrix(2, 3)), Error);
+}
+
+TEST(Hermite, HEqualsUTimesA) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int r = static_cast<int>(rng.uniform(1, 4));
+    const int c = static_cast<int>(rng.uniform(1, 4));
+    IntMatrix a(r, c);
+    for (int i = 0; i < r; ++i)
+      for (int j = 0; j < c; ++j) a.at(i, j) = rng.uniform(-5, 5);
+    const HermiteForm hf = hermite_normal_form(a);
+    EXPECT_EQ(hf.h, hf.u * a);
+    EXPECT_EQ(std::abs(determinant(hf.u)), 1);
+    EXPECT_EQ(hf.rank, rank(a));
+    // Row echelon: pivot columns strictly increase, pivots positive.
+    int last_pivot_col = -1;
+    for (int i = 0; i < hf.rank; ++i) {
+      int pc = 0;
+      while (pc < c && hf.h.at(i, pc) == 0) ++pc;
+      ASSERT_LT(pc, c);
+      EXPECT_GT(pc, last_pivot_col);
+      EXPECT_GT(hf.h.at(i, pc), 0);
+      last_pivot_col = pc;
+    }
+    for (int i = hf.rank; i < r; ++i)
+      for (int j = 0; j < c; ++j) EXPECT_EQ(hf.h.at(i, j), 0);
+  }
+}
+
+TEST(NullSpace, AnnihilatesAndSpans) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int r = static_cast<int>(rng.uniform(1, 4));
+    const int c = static_cast<int>(rng.uniform(1, 5));
+    IntMatrix a(r, c);
+    for (int i = 0; i < r; ++i)
+      for (int j = 0; j < c; ++j) a.at(i, j) = rng.uniform(-4, 4);
+    const IntMatrix ns = null_space(a);
+    EXPECT_EQ(ns.rows(), c - rank(a));
+    for (int i = 0; i < ns.rows(); ++i) {
+      const Vec prod = a * ns.row(i);
+      for (Int v : prod) EXPECT_EQ(v, 0);
+      EXPECT_EQ(gcd(ns.row(i)), 1) << "basis vectors must be primitive";
+    }
+    if (ns.rows() > 0) {
+      EXPECT_EQ(rank(ns), ns.rows());
+    }
+  }
+}
+
+TEST(NullSpace, EdgeCases) {
+  EXPECT_EQ(null_space(IntMatrix(0, 3)), IntMatrix::identity(3));
+  EXPECT_EQ(null_space(IntMatrix::identity(3)).rows(), 0);
+  // A zero matrix has a full kernel.
+  EXPECT_EQ(null_space(IntMatrix(2, 3)).rows(), 3);
+}
+
+TEST(Solve, ConsistentAndInconsistent) {
+  IntMatrix a{{1, 2}, {3, 4}};
+  auto sol = solve(a, Vec{5, 11});
+  ASSERT_TRUE(sol.has_value());
+  const Vec ax = a * sol->x;
+  EXPECT_EQ(ax, (Vec{5 * sol->denom, 11 * sol->denom}));
+
+  IntMatrix sing{{1, 2}, {2, 4}};
+  EXPECT_FALSE(solve(sing, Vec{1, 0}).has_value());
+  auto sol2 = solve(sing, Vec{1, 2});
+  ASSERT_TRUE(sol2.has_value());
+  EXPECT_EQ(sing * sol2->x, (Vec{sol2->denom, 2 * sol2->denom}));
+}
+
+TEST(Solve, RationalSolutionScaled) {
+  IntMatrix a{{2}};
+  auto sol = solve(a, Vec{1});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->denom, 2);
+  EXPECT_EQ(sol->x, (Vec{1}));
+}
+
+TEST(UnimodularCompletion, CompletesPrimitiveRows) {
+  Rng rng(5);
+  int completed = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform(2, 5));
+    const int k = static_cast<int>(rng.uniform(1, static_cast<Int>(n)));
+    IntMatrix rows(k, n);
+    for (int i = 0; i < k; ++i)
+      for (int j = 0; j < n; ++j) rows.at(i, j) = rng.uniform(-3, 3);
+    if (rank(rows) != k) continue;
+    IntMatrix w;
+    try {
+      w = unimodular_completion(rows);
+    } catch (const Error&) {
+      continue;  // unsaturated lattice: correctly refused
+    }
+    ++completed;
+    ASSERT_EQ(w.rows(), n);
+    EXPECT_EQ(std::abs(determinant(w)), 1);
+    EXPECT_EQ(w.submatrix(0, k, 0, n), rows);
+  }
+  EXPECT_GT(completed, 20);
+}
+
+TEST(UnimodularCompletion, SingleVector) {
+  const IntMatrix w = unimodular_completion(IntMatrix{{2, 3}});
+  EXPECT_EQ(std::abs(determinant(w)), 1);
+  EXPECT_EQ(w.row(0), (Vec{2, 3}));
+  EXPECT_THROW(unimodular_completion(IntMatrix{{2, 4}}), Error);
+  EXPECT_THROW(unimodular_completion(IntMatrix{{1, 2}, {2, 4}}), Error);
+}
+
+}  // namespace
+}  // namespace dct::linalg

@@ -1,0 +1,172 @@
+// Tests for the DASH-like machine simulator: latency hierarchy, coherence
+// behaviour (true and false sharing), conflict misses and page homing.
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace dct::machine {
+namespace {
+
+MachineConfig small_dash(int procs) {
+  MachineConfig cfg = MachineConfig::dash(procs);
+  return cfg;
+}
+
+TEST(Machine, LatencyHierarchy) {
+  Machine m(small_dash(8));
+  m.home_page(0, 0);  // page homed on cluster 0 (procs 0..3)
+  // Cold miss from proc 0: local memory.
+  EXPECT_EQ(m.access(0, 0, false), m.config().lat_local);
+  // Re-access: L1 hit.
+  EXPECT_EQ(m.access(0, 0, false), m.config().lat_l1);
+  // Proc 4 (cluster 1): remote fill.
+  EXPECT_EQ(m.access(4, 0, false), m.config().lat_remote);
+  EXPECT_EQ(m.stats(0).l1_hits, 1);
+  EXPECT_EQ(m.stats(0).local_fills, 1);
+  EXPECT_EQ(m.stats(4).remote_fills, 1);
+}
+
+TEST(Machine, DirtyRemoteFill) {
+  Machine m(small_dash(8));
+  m.home_page(0, 0);
+  m.access(0, 0, true);  // proc 0 dirties the line
+  EXPECT_EQ(m.access(4, 0, false), m.config().lat_remote_dirty);
+}
+
+TEST(Machine, WriteInvalidatesSharers) {
+  Machine m(small_dash(8));
+  m.home_page(0, 0);
+  m.access(0, 0, false);
+  m.access(1, 0, false);  // both share the line
+  EXPECT_EQ(m.access(1, 0, false), m.config().lat_l1);
+  m.access(0, 0, true);  // upgrade: invalidates proc 1
+  EXPECT_EQ(m.stats(0).upgrades, 1);
+  // Proc 1 must now miss, classified as coherence (same word: true).
+  m.access(1, 0, false);
+  EXPECT_EQ(m.stats(1).coherence_true, 1);
+}
+
+TEST(Machine, FalseSharingClassified) {
+  Machine m(small_dash(8));
+  m.home_page(0, 0);
+  // Proc 1 reads word 0; proc 0 writes word 3 of the same 16B line.
+  m.access(1, 0, false);
+  m.access(0, 12, true);
+  m.access(1, 0, false);  // miss caused by a write to a DIFFERENT word
+  EXPECT_EQ(m.stats(1).coherence_false, 1);
+  EXPECT_EQ(m.stats(1).coherence_true, 0);
+}
+
+TEST(Machine, ConflictMissesInDirectMappedCache) {
+  // Two addresses 64KB apart map to the same L1 set and 256KB apart to the
+  // same L2 set; alternating them defeats both direct-mapped levels.
+  Machine m(small_dash(4));
+  const Int a = 0;
+  const Int b = 256 * 1024;  // same set in L1 (64K) and L2 (256K)
+  m.home_page(a, 0);
+  m.home_page(b, 0);
+  m.access(0, a, false);
+  m.access(0, b, false);
+  m.access(0, a, false);
+  m.access(0, b, false);
+  EXPECT_EQ(m.stats(0).replace_misses, 2);
+  EXPECT_EQ(m.stats(0).l1_hits + m.stats(0).l2_hits, 0);
+}
+
+TEST(Machine, L2BacksUpL1) {
+  // Addresses 64KB apart conflict in L1 but not in L2 (256KB).
+  Machine m(small_dash(4));
+  const Int a = 0, b = 64 * 1024;
+  m.home_page(a, 0);
+  m.home_page(b, 0);
+  m.access(0, a, false);
+  m.access(0, b, false);  // evicts a from L1, both in L2
+  EXPECT_EQ(m.access(0, a, false), m.config().lat_l2);
+  EXPECT_EQ(m.stats(0).l2_hits, 1);
+}
+
+TEST(Machine, FirstTouchRoundRobin) {
+  Machine m(small_dash(32));
+  // Unhomed pages spread across the 8 clusters; accesses from proc 0 hit
+  // local memory only 1/8 of the time.
+  int local = 0;
+  for (int pg = 0; pg < 16; ++pg) {
+    const double lat = m.access(0, static_cast<Int>(pg) * 4096, false);
+    if (lat == m.config().lat_local) ++local;
+  }
+  EXPECT_EQ(local, 2);  // 16 pages / 8 clusters
+}
+
+TEST(Machine, BarrierCostGrowsWithProcs) {
+  Machine m(small_dash(32));
+  EXPECT_GT(m.barrier_cost(32), m.barrier_cost(4));
+}
+
+TEST(Machine, StatsAggregation) {
+  Machine m(small_dash(4));
+  m.access(0, 0, false);
+  m.access(1, 64, true);
+  const ProcStats total = m.total_stats();
+  EXPECT_EQ(total.accesses, 2);
+  EXPECT_FALSE(total.to_string().empty());
+}
+
+TEST(Machine, RejectsBadConfig) {
+  MachineConfig cfg = MachineConfig::dash(128);
+  EXPECT_THROW(Machine m(cfg), Error);
+}
+
+
+TEST(Machine, StatsAccountingInvariant) {
+  // Property: every access is exactly one of {l1 hit, l2 hit, fill}, and
+  // every miss is classified exactly once.
+  Machine m(small_dash(8));
+  std::uint64_t seed = 7;
+  auto next = [&]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const int proc = static_cast<int>(next() % 8);
+    const Int addr = static_cast<Int>(next() % (1 << 20)) & ~3ll;
+    m.access(proc, addr, next() % 3 == 0);
+  }
+  const ProcStats t = m.total_stats();
+  const long long fills =
+      t.local_fills + t.remote_fills + t.remote_dirty_fills;
+  EXPECT_EQ(t.accesses, t.l1_hits + t.l2_hits + fills);
+  EXPECT_EQ(fills, t.cold_misses + t.replace_misses + t.coherence_true +
+                       t.coherence_false);
+  EXPECT_GT(t.memory_cycles, 0.0);
+}
+
+TEST(Machine, BackToBackAccessAlwaysHits) {
+  // Property: immediately repeating an access from the same processor is
+  // always an L1 hit (nothing can intervene).
+  Machine m(small_dash(8));
+  std::uint64_t seed = 9;
+  auto next = [&]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const int proc = static_cast<int>(next() % 8);
+    const Int addr = static_cast<Int>(next() % (1 << 18)) & ~3ll;
+    m.access(proc, addr, false);
+    EXPECT_EQ(m.access(proc, addr, false), m.config().lat_l1);
+  }
+}
+
+TEST(Machine, ReadSharingIsFree) {
+  // Many readers of one line do not invalidate each other.
+  Machine m(small_dash(32));
+  m.home_page(0, 0);
+  for (int p = 0; p < 32; ++p) m.access(p, 0, false);
+  for (int p = 0; p < 32; ++p)
+    EXPECT_EQ(m.access(p, 0, false), m.config().lat_l1);
+}
+
+}  // namespace
+}  // namespace dct::machine

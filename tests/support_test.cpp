@@ -1,0 +1,74 @@
+// Tests for the support utilities (string formatting, env config, RNG).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace dct {
+namespace {
+
+TEST(Str, Strf) {
+  EXPECT_EQ(strf("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(strf("%s", ""), "");
+  // Long output beyond any small internal buffer.
+  const std::string big(500, 'a');
+  EXPECT_EQ(strf("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join(std::vector<int>{1, 2}, "-"), "1-2");
+  EXPECT_EQ(join(std::vector<int>{}, ","), "");
+}
+
+TEST(Env, ParsesAndDefaults) {
+  ::setenv("DCT_TEST_ENV", "42", 1);
+  EXPECT_EQ(env_int("DCT_TEST_ENV", 7), 42);
+  ::setenv("DCT_TEST_ENV", "junk", 1);
+  EXPECT_EQ(env_int("DCT_TEST_ENV", 7), 7);
+  ::unsetenv("DCT_TEST_ENV");
+  EXPECT_EQ(env_int("DCT_TEST_ENV", 7), 7);
+}
+
+TEST(Rng, DeterministicAndSpread) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(Rng(123).next_u64(), c.next_u64());
+
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, InclusiveBoundsAndNegatives) {
+  Rng r(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform(-2, 2);
+    hit_lo |= v == -2;
+    hit_hi |= v == 2;
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+}  // namespace
+}  // namespace dct
