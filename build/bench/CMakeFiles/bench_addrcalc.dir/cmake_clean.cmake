@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_addrcalc.dir/bench_addrcalc.cpp.o"
+  "CMakeFiles/bench_addrcalc.dir/bench_addrcalc.cpp.o.d"
+  "bench_addrcalc"
+  "bench_addrcalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_addrcalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

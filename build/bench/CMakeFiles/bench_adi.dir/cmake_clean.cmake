@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adi.dir/bench_adi.cpp.o"
+  "CMakeFiles/bench_adi.dir/bench_adi.cpp.o.d"
+  "bench_adi"
+  "bench_adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_erlebacher.dir/bench_erlebacher.cpp.o"
+  "CMakeFiles/bench_erlebacher.dir/bench_erlebacher.cpp.o.d"
+  "bench_erlebacher"
+  "bench_erlebacher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_erlebacher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

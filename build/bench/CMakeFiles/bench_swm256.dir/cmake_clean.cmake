@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swm256.dir/bench_swm256.cpp.o"
+  "CMakeFiles/bench_swm256.dir/bench_swm256.cpp.o.d"
+  "bench_swm256"
+  "bench_swm256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swm256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

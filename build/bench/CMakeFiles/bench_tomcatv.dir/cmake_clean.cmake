@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tomcatv.dir/bench_tomcatv.cpp.o"
+  "CMakeFiles/bench_tomcatv.dir/bench_tomcatv.cpp.o.d"
+  "bench_tomcatv"
+  "bench_tomcatv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tomcatv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

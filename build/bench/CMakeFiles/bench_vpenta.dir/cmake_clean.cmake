@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vpenta.dir/bench_vpenta.cpp.o"
+  "CMakeFiles/bench_vpenta.dir/bench_vpenta.cpp.o.d"
+  "bench_vpenta"
+  "bench_vpenta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vpenta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

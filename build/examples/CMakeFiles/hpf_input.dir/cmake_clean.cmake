@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_input.dir/hpf_input.cpp.o"
+  "CMakeFiles/hpf_input.dir/hpf_input.cpp.o.d"
+  "hpf_input"
+  "hpf_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_conflicts.dir/lu_conflicts.cpp.o"
+  "CMakeFiles/lu_conflicts.dir/lu_conflicts.cpp.o.d"
+  "lu_conflicts"
+  "lu_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adi.cpp" "src/CMakeFiles/dct.dir/apps/adi.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/adi.cpp.o.d"
+  "/root/repo/src/apps/erlebacher.cpp" "src/CMakeFiles/dct.dir/apps/erlebacher.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/erlebacher.cpp.o.d"
+  "/root/repo/src/apps/figure1.cpp" "src/CMakeFiles/dct.dir/apps/figure1.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/figure1.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/CMakeFiles/dct.dir/apps/lu.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/lu.cpp.o.d"
+  "/root/repo/src/apps/stencil5.cpp" "src/CMakeFiles/dct.dir/apps/stencil5.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/stencil5.cpp.o.d"
+  "/root/repo/src/apps/swm256.cpp" "src/CMakeFiles/dct.dir/apps/swm256.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/swm256.cpp.o.d"
+  "/root/repo/src/apps/tomcatv.cpp" "src/CMakeFiles/dct.dir/apps/tomcatv.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/tomcatv.cpp.o.d"
+  "/root/repo/src/apps/vpenta.cpp" "src/CMakeFiles/dct.dir/apps/vpenta.cpp.o" "gcc" "src/CMakeFiles/dct.dir/apps/vpenta.cpp.o.d"
+  "/root/repo/src/codegen/codegen.cpp" "src/CMakeFiles/dct.dir/codegen/codegen.cpp.o" "gcc" "src/CMakeFiles/dct.dir/codegen/codegen.cpp.o.d"
+  "/root/repo/src/core/compiler.cpp" "src/CMakeFiles/dct.dir/core/compiler.cpp.o" "gcc" "src/CMakeFiles/dct.dir/core/compiler.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/dct.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/dct.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/decomp/decomposition.cpp" "src/CMakeFiles/dct.dir/decomp/decomposition.cpp.o" "gcc" "src/CMakeFiles/dct.dir/decomp/decomposition.cpp.o.d"
+  "/root/repo/src/dep/dependence.cpp" "src/CMakeFiles/dct.dir/dep/dependence.cpp.o" "gcc" "src/CMakeFiles/dct.dir/dep/dependence.cpp.o.d"
+  "/root/repo/src/dep/parallelize.cpp" "src/CMakeFiles/dct.dir/dep/parallelize.cpp.o" "gcc" "src/CMakeFiles/dct.dir/dep/parallelize.cpp.o.d"
+  "/root/repo/src/hpf/hpf.cpp" "src/CMakeFiles/dct.dir/hpf/hpf.cpp.o" "gcc" "src/CMakeFiles/dct.dir/hpf/hpf.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/dct.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/dct.dir/ir/program.cpp.o.d"
+  "/root/repo/src/ir/transform.cpp" "src/CMakeFiles/dct.dir/ir/transform.cpp.o" "gcc" "src/CMakeFiles/dct.dir/ir/transform.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/CMakeFiles/dct.dir/layout/layout.cpp.o" "gcc" "src/CMakeFiles/dct.dir/layout/layout.cpp.o.d"
+  "/root/repo/src/linalg/int_matrix.cpp" "src/CMakeFiles/dct.dir/linalg/int_matrix.cpp.o" "gcc" "src/CMakeFiles/dct.dir/linalg/int_matrix.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/dct.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/dct.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/dct.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/dct.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/dct.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/dct.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/CMakeFiles/dct.dir/support/env.cpp.o" "gcc" "src/CMakeFiles/dct.dir/support/env.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/dct.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/dct.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/decomp_test[1]_include.cmake")
+include("/root/repo/build/tests/dep_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/hpf_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
