@@ -37,6 +37,17 @@ int main() {
                 << full.arrays[a].layout.to_string() << "\n";
   std::cout << "\n";
 
+  // 3b. The compiler is an instrumented pass pipeline: every compilation
+  //     carries a structured trace (per-pass wall time, remarks, decision
+  //     counters). DCT_TRACE=1 prints it all as JSON; here is the summary.
+  std::cout << "Pass pipeline (" << strf("%.3f", full.trace.total_ms)
+            << " ms; run with DCT_TRACE=1 for the full JSON trace):\n";
+  for (const auto& p : full.trace.passes)
+    std::cout << "  " << strf("%-14s", p.name.c_str())
+              << strf("%7.3f ms", p.wall_ms) << "  " << p.remark_count
+              << " remark(s), " << p.counters.size() << " counter(s)\n";
+  std::cout << "\n";
+
   // 4. Measure all three compiler configurations on the simulated DASH.
   core::SweepOptions opts;
   opts.procs = {1, 4, 8, 16, 32};

@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <sstream>
 
-#include "dep/dependence.hpp"
+#include "core/pass.hpp"
+#include "linalg/int_matrix.hpp"
 #include "support/diagnostics.hpp"
 #include "support/str.hpp"
 
 namespace dct::core {
 
 using decomp::DistKind;
-using layout::Layout;
+using linalg::floor_div;
+using linalg::floor_mod;
 
 std::string to_string(Mode mode) {
   switch (mode) {
@@ -27,48 +29,43 @@ int CoordFold::fold(Int v) const {
     case DistKind::Serial:
       return 0;
     case DistKind::Block: {
-      const Int c = x / std::max<Int>(1, block);
+      const Int c = floor_div(x, std::max<Int>(1, block));
       return static_cast<int>(std::clamp<Int>(c, 0, procs - 1));
     }
     case DistKind::Cyclic:
-      return static_cast<int>(x % procs);
+      return static_cast<int>(floor_mod(x, procs));
     case DistKind::BlockCyclic:
-      return static_cast<int>((x / std::max<Int>(1, block)) % procs);
+      return static_cast<int>(
+          floor_mod(floor_div(x, std::max<Int>(1, block)), procs));
   }
   return 0;
 }
 
 namespace {
 
-Int ceil_div(Int a, Int b) { return (a + b - 1) / b; }
-Int page_align(Int x, Int page = 4096) { return ceil_div(x, page) * page; }
-
-CompiledRef flatten_ref(const ir::ArrayRef& r, int depth, bool is_write,
-                        double overhead) {
-  CompiledRef out;
-  out.array = r.array;
-  out.is_write = is_write;
-  out.rank = r.access.rows();
-  out.coeffs.assign(static_cast<size_t>(out.rank) * static_cast<size_t>(depth),
-                    0);
-  for (int row = 0; row < out.rank; ++row)
-    for (int c = 0; c < r.access.cols() && c < depth; ++c)
-      out.coeffs[static_cast<size_t>(row) * static_cast<size_t>(depth) +
-                 static_cast<size_t>(c)] = r.access.at(row, c);
-  out.offsets = r.offset;
-  out.addr_overhead = overhead;
-  return out;
+CompiledProgram run_pipeline(const PassManager& pm, CompilationState st) {
+  support::RemarkEngine eng;
+  pm.run(st, eng);
+  st.cp.trace = eng.take_trace();
+  if (support::trace_enabled())
+    support::emit_trace(st.cp.trace.json(
+        {{"unit", st.cp.program.name},
+         {"mode", to_string(st.cp.mode)},
+         {"procs", strf("%d", st.cp.procs)}}));
+  return std::move(st.cp);
 }
 
 }  // namespace
 
 CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
                         layout::AddrStrategy strategy) {
-  return compile_with_decomposition(prog,
-                                    mode == Mode::Base
-                                        ? decomp::decompose_base(prog)
-                                        : decomp::decompose(prog),
-                                    mode, procs, strategy);
+  DCT_CHECK(procs >= 1, "need at least one processor");
+  CompilationState st;
+  st.cp.program = prog;
+  st.cp.mode = mode;
+  st.cp.procs = procs;
+  st.cp.strategy = strategy;
+  return run_pipeline(build_pipeline(mode), std::move(st));
 }
 
 CompiledProgram compile_with_decomposition(const ir::Program& prog,
@@ -76,122 +73,13 @@ CompiledProgram compile_with_decomposition(const ir::Program& prog,
                                            Mode mode, int procs,
                                            layout::AddrStrategy strategy) {
   DCT_CHECK(procs >= 1, "need at least one processor");
-  CompiledProgram cp;
-  cp.program = prog;
-  cp.mode = mode;
-  cp.procs = procs;
-  cp.strategy = strategy;
-  cp.dec = std::move(dec);
-  cp.grid = cp.dec.grid_extents(procs);
-
-  // Mixed-radix strides within co-activity cliques.
-  std::vector<int> stride(static_cast<size_t>(cp.dec.num_proc_dims), 1);
-  for (int pd = 0; pd < cp.dec.num_proc_dims; ++pd)
-    for (int q = 0; q < pd; ++q)
-      if (cp.dec.clique_id[static_cast<size_t>(q)] ==
-          cp.dec.clique_id[static_cast<size_t>(pd)])
-        stride[static_cast<size_t>(pd)] *= cp.grid[static_cast<size_t>(q)];
-
-  // ---- arrays: layouts, partitions, address-space allocation ----
-  const int clusters = (procs + 3) / 4;  // DASH clustering
-  Int next_addr = 0;
-  for (size_t a = 0; a < prog.arrays.size(); ++a) {
-    const ir::ArrayDecl& decl = prog.arrays[a];
-    CompiledArray ca;
-    ca.replicated = cp.dec.arrays[a].replicated;
-    ca.layout = mode == Mode::Full
-                    ? layout::derive_layout(decl, cp.dec.arrays[a], cp.grid)
-                    : Layout::identity(decl.dims);
-    ca.part = layout::make_partition(decl, cp.dec.arrays[a], cp.grid,
-                                     cp.dec.num_proc_dims);
-    ca.bytes = page_align(ca.layout.size() * decl.elem_size);
-    ca.base_addr = next_addr;
-    next_addr += ca.bytes * (ca.replicated ? clusters : 1);
-    cp.arrays.push_back(std::move(ca));
-  }
-
-  // Fold parameters of one virtual dimension, from the first array bound
-  // to it (group members are aligned, so extents agree).
-  auto fold_for_dim = [&](int pd) {
-    CoordFold f;
-    f.procs = cp.grid[static_cast<size_t>(pd)];
-    f.stride = stride[static_cast<size_t>(pd)];
-    for (const CompiledArray& ca : cp.arrays)
-      for (const auto& d : ca.part.dims)
-        if (d.proc_dim == pd) {
-          f.kind = d.kind;
-          f.block = std::max<Int>(1, d.block);
-          return f;
-        }
-    f.kind = DistKind::Block;
-    f.block = 1;
-    return f;
-  };
-
-  // ---- nests ----
-  for (size_t j = 0; j < prog.nests.size(); ++j) {
-    const dep::ParallelizedNest& par = cp.dec.par[j];
-    const decomp::NestDecomposition& nd = cp.dec.nests[j];
-    CompiledNest cn;
-    cn.nest = par.nest;
-    cn.barrier_after = nd.barrier_after;
-    const int depth = par.nest.depth();
-    const dep::Hull hull = dep::iteration_hull(par.nest);
-
-    for (size_t s = 0; s < par.nest.stmts.size(); ++s) {
-      const ir::Stmt& st = par.nest.stmts[s];
-      CompiledStmt cs;
-      cs.depth = st.effective_depth(depth);
-      cs.compute_cycles = st.compute_cycles;
-      cs.eval = st.eval;
-      for (const ir::ArrayRef& r : st.reads)
-        cs.reads.push_back(flatten_ref(
-            r, depth, false,
-            layout::address_overhead(
-                par.nest, r, cp.arrays[static_cast<size_t>(r.array)].layout,
-                strategy)));
-      if (st.write)
-        cs.writes.push_back(flatten_ref(
-            *st.write, depth, true,
-            layout::address_overhead(
-                par.nest, *st.write,
-                cp.arrays[static_cast<size_t>(st.write->array)].layout,
-                strategy)));
-
-      if (mode == Mode::Base) {
-        // BASE: block-distribute the single marked loop by its span.
-        for (size_t l = 0; l < nd.loops.size(); ++l) {
-          if (nd.loops[l].sched != decomp::LoopSched::Distributed) continue;
-          CoordFold f;
-          f.kind = DistKind::Block;
-          f.procs = procs;
-          f.offset = hull.lo[l];
-          const Int span = hull.hi[l] - hull.lo[l] + 1;
-          f.block = std::max<Int>(1, ceil_div(span, procs));
-          f.stride = 1;
-          cs.owner.push_back({static_cast<int>(l), f});
-          break;
-        }
-      } else {
-        for (int pd = 0; pd < cp.dec.num_proc_dims; ++pd) {
-          int loop = -1;
-          if (s < nd.stmts.size() &&
-              pd < static_cast<int>(nd.stmts[s].loop_for_dim.size()))
-            loop = nd.stmts[s].loop_for_dim[static_cast<size_t>(pd)];
-          if (loop < 0) {
-            // Fall back to the nest-level mapping.
-            for (size_t l = 0; l < nd.loops.size(); ++l)
-              if (nd.loops[l].proc_dim == pd) loop = static_cast<int>(l);
-          }
-          if (loop < 0) continue;
-          cs.owner.push_back({loop, fold_for_dim(pd)});
-        }
-      }
-      cn.stmts.push_back(std::move(cs));
-    }
-    cp.nests.push_back(std::move(cn));
-  }
-  return cp;
+  CompilationState st;
+  st.cp.program = prog;
+  st.cp.mode = mode;
+  st.cp.procs = procs;
+  st.cp.strategy = strategy;
+  st.cp.dec = std::move(dec);
+  return run_pipeline(build_lowering_pipeline(mode), std::move(st));
 }
 
 std::string CompiledProgram::report() const {

@@ -17,6 +17,7 @@
 #include "decomp/decomposition.hpp"
 #include "ir/program.hpp"
 #include "layout/layout.hpp"
+#include "support/remark.hpp"
 
 namespace dct::core {
 
@@ -33,7 +34,10 @@ struct CoordFold {
   Int offset = 0;   ///< subtracted before folding (Base: loop lower bound)
   int stride = 1;   ///< mixed-radix stride within the clique
 
-  int fold(Int v) const;  ///< physical coordinate of value v
+  /// Physical coordinate of value v. Total: any Int (including values
+  /// below the offset) maps into [0, procs) — BLOCK clamps, CYCLIC and
+  /// BLOCK-CYCLIC wrap with floored division semantics.
+  int fold(Int v) const;
 };
 
 struct CompiledArray {
@@ -78,13 +82,17 @@ struct CompiledProgram {
   std::vector<int> grid;  ///< physical extent per virtual dimension
   std::vector<CompiledArray> arrays;
   std::vector<CompiledNest> nests;
+  /// Structured pipeline trace: per-pass wall time, remarks and decision
+  /// counters (see support/remark.hpp; DCT_TRACE=1 prints it as JSON).
+  support::PipelineTrace trace;
 
   std::string report() const;  ///< human-readable compilation summary
 };
 
-/// Run the full pipeline for `procs` processors. The processor count is a
-/// compile-time input exactly as in the paper's generated SPMD code
-/// (block sizes are ceil(d/P)).
+/// Run the full pipeline for `procs` processors: builds the pass list for
+/// `mode` (see core/pass.hpp) and runs it through the PassManager. The
+/// processor count is a compile-time input exactly as in the paper's
+/// generated SPMD code (block sizes are ceil(d/P)).
 CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
                         layout::AddrStrategy strategy =
                             layout::AddrStrategy::Optimized);

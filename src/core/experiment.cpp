@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/diagnostics.hpp"
+#include "support/parallel.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 
@@ -14,41 +15,64 @@ SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
   out.procs = opts.procs;
   out.modes = opts.modes;
 
-  runtime::ExecOptions eopts;
-  eopts.collect_values = false;
+  // Every sweep point — the sequential baseline, the per-mode verification
+  // runs and the (mode, P) grid — is an independent compile + simulation,
+  // so they all go onto one thread pool. Results land in slots indexed by
+  // task id, so aggregation below is deterministic and the rendered tables
+  // are byte-identical to a serial (threads = 1) sweep.
+  struct Task {
+    Mode mode;
+    int procs;
+    bool verify;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({Mode::Base, 1, false});  // best sequential version
+  if (opts.verify)
+    for (Mode mode : opts.modes) tasks.push_back({mode, 4, true});
+  const size_t grid_base = tasks.size();
+  for (Mode mode : opts.modes)
+    for (int p : opts.procs) tasks.push_back({mode, p, false});
 
-  // Best sequential version: BASE on one processor.
-  {
-    const CompiledProgram cp =
-        compile(prog, Mode::Base, 1, opts.strategy);
-    out.seq_cycles =
-        runtime::simulate(cp, machine::MachineConfig::dash(1), eopts).cycles;
-  }
+  const std::vector<std::vector<double>> reference =
+      opts.verify ? runtime::run_reference(prog)
+                  : std::vector<std::vector<double>>{};
 
-  if (opts.verify) {
-    const auto reference = runtime::run_reference(prog);
-    for (Mode mode : opts.modes) {
-      const CompiledProgram cp = compile(prog, mode, 4, opts.strategy);
-      runtime::ExecOptions vopts;
-      const auto r =
-          runtime::simulate(cp, machine::MachineConfig::dash(4), vopts);
-      DCT_CHECK(r.values == reference,
-                prog.name + ": transformed program changed results");
-    }
-  }
+  std::vector<runtime::RunResult> results(tasks.size());
+  std::vector<support::PipelineTrace> traces(tasks.size());
+  support::parallel_for(
+      static_cast<int>(tasks.size()), opts.threads, [&](int i) {
+        const Task& t = tasks[static_cast<size_t>(i)];
+        CompiledProgram cp = compile(prog, t.mode, t.procs, opts.strategy);
+        traces[static_cast<size_t>(i)] = std::move(cp.trace);
+        runtime::ExecOptions eopts;
+        eopts.collect_values = t.verify;
+        results[static_cast<size_t>(i)] = runtime::simulate(
+            cp, machine::MachineConfig::dash(t.procs), eopts);
+        if (t.verify)
+          DCT_CHECK(results[static_cast<size_t>(i)].values == reference,
+                    prog.name + ": transformed program changed results");
+      });
 
-  for (Mode mode : opts.modes) {
+  for (const support::PipelineTrace& t : traces) out.trace.merge(t);
+
+  out.seq_cycles = results[0].cycles;
+  size_t i = grid_base;
+  for (size_t m = 0; m < opts.modes.size(); ++m) {
     std::vector<double> series;
-    runtime::RunResult last;
-    for (int p : opts.procs) {
-      const CompiledProgram cp = compile(prog, mode, p, opts.strategy);
-      last = runtime::simulate(cp, machine::MachineConfig::dash(p), eopts);
-      series.push_back(out.seq_cycles / last.cycles);
-    }
+    for (size_t p = 0; p < opts.procs.size(); ++p, ++i)
+      series.push_back(out.seq_cycles / results[i].cycles);
     out.speedups.push_back(std::move(series));
+    runtime::RunResult last;
+    if (!opts.procs.empty()) last = std::move(results[i - 1]);
     out.mem_at_max.push_back(last.mem);
     out.raw_at_max.push_back(std::move(last));
   }
+
+  if (support::trace_enabled())
+    support::emit_trace(out.trace.json(
+        {{"unit", prog.name},
+         {"kind", "sweep"},
+         {"points", strf("%d", static_cast<int>(tasks.size()))}}));
   return out;
 }
 

@@ -18,6 +18,10 @@ struct SweepOptions {
   std::vector<Mode> modes = {Mode::Base, Mode::CompDecomp, Mode::Full};
   layout::AddrStrategy strategy = layout::AddrStrategy::Optimized;
   bool verify = true;  ///< check bit-exact semantics on the smallest run
+  /// Worker threads for the sweep points: 0 = support::default_threads()
+  /// (hardware_concurrency, or the DCT_THREADS env), 1 = serial. Results
+  /// are byte-identical regardless of the thread count.
+  int threads = 0;
 };
 
 struct SweepResult {
@@ -29,10 +33,15 @@ struct SweepResult {
   /// Memory statistics of the largest-P run per mode.
   std::vector<machine::ProcStats> mem_at_max;
   std::vector<runtime::RunResult> raw_at_max;
+  /// Pipeline traces of every compilation in the sweep, aggregated
+  /// (per-pass wall time, runs and decision counters summed).
+  support::PipelineTrace trace;
 };
 
 /// Run the full sweep. The paper's speedups are "calculated over the best
 /// sequential version": we use the BASE compilation on one processor.
+/// Every (mode, P) point is an independent compile+simulate, so they run
+/// on a thread pool (opts.threads) with deterministic result ordering.
 SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts = {});
 
 /// Render the sweep as a paper-style figure (ASCII chart) plus the exact

@@ -231,10 +231,23 @@ struct NestEval {
 // ---------------------------------------------------------------------------
 
 ProgramDecomposition decompose(const Program& prog, const DecompOptions& opts) {
+  std::vector<ParallelizedNest> par;
+  for (const LoopNest& nest : prog.nests) par.push_back(dep::parallelize(nest));
+  ProgramDecomposition out = decompose_from(std::move(par), prog, opts);
+  select_folds(prog, out, opts);
+  eliminate_barriers(out);
+  return out;
+}
+
+ProgramDecomposition decompose_from(std::vector<ParallelizedNest> par,
+                                    const Program& prog,
+                                    const DecompOptions& opts,
+                                    support::RemarkSink* rs) {
   ProgramDecomposition out;
   const int nnests = static_cast<int>(prog.nests.size());
-  for (const LoopNest& nest : prog.nests)
-    out.par.push_back(dep::parallelize(nest));
+  out.par = std::move(par);
+  DCT_CHECK(static_cast<int>(out.par.size()) == nnests,
+            "one parallelized nest required per program nest");
 
   std::vector<NestInfo> info;
   for (int j = 0; j < nnests; ++j)
@@ -554,18 +567,16 @@ ProgramDecomposition decompose(const Program& prog, const DecompOptions& opts) {
     }
   }
 
-  // Folding function per virtual dimension.
-  std::vector<DistKind> fold(static_cast<size_t>(out.num_proc_dims),
-                             DistKind::Block);
-
   out.nests.resize(static_cast<size_t>(nnests));
   for (int j = 0; j < nnests; ++j) {
     const NestEval& ev = evals[static_cast<size_t>(j)];
-    const ParallelizedNest& par = out.par[static_cast<size_t>(j)];
+    const ParallelizedNest& nestpar = out.par[static_cast<size_t>(j)];
     NestDecomposition& nd = out.nests[static_cast<size_t>(j)];
-    nd.loops.assign(static_cast<size_t>(par.nest.depth()), LoopAssignment{});
+    nd.loops.assign(static_cast<size_t>(nestpar.nest.depth()),
+                    LoopAssignment{});
     nd.comm_free = ev.comm == 0;
-    nd.stmts.assign(par.nest.stmts.size(), StmtMapping{});
+    nd.boundary_free = ev.boundary == 0;
+    nd.stmts.assign(nestpar.nest.stmts.size(), StmtMapping{});
     for (size_t s = 0; s < nd.stmts.size(); ++s) {
       nd.stmts[s].loop_for_dim.assign(
           static_cast<size_t>(out.num_proc_dims), -1);
@@ -581,19 +592,19 @@ ProgramDecomposition decompose(const Program& prog, const DecompOptions& opts) {
       LoopAssignment& la = nd.loops[static_cast<size_t>(l)];
       la.proc_dim = pd;
       la.sched = ev.honored_sched[i];
-      // Load-balance test for the folding function: bounds of the
+      // Load-balance fact for folding-function selection: bounds of the
       // distributed loop varying with outer loops, or inner bounds varying
       // with it, mean triangular work.
       bool varying = false;
-      const ir::Loop& lp = par.nest.loops[static_cast<size_t>(l)];
+      const ir::Loop& lp = nestpar.nest.loops[static_cast<size_t>(l)];
       auto has_coeffs = [](const ir::Bound& b) {
         return std::any_of(b.expr.coeffs.begin(), b.expr.coeffs.end(),
                            [](Int c) { return c != 0; });
       };
       for (const ir::Bound& b : lp.lowers) varying |= has_coeffs(b);
       for (const ir::Bound& b : lp.uppers) varying |= has_coeffs(b);
-      for (int k2 = l + 1; k2 < par.nest.depth(); ++k2) {
-        const ir::Loop& lp2 = par.nest.loops[static_cast<size_t>(k2)];
+      for (int k2 = l + 1; k2 < nestpar.nest.depth(); ++k2) {
+        const ir::Loop& lp2 = nestpar.nest.loops[static_cast<size_t>(k2)];
         auto dep_on_l = [&](const ir::Bound& b) {
           return static_cast<int>(b.expr.coeffs.size()) > l &&
                  b.expr.coeffs[static_cast<size_t>(l)] != 0;
@@ -601,41 +612,40 @@ ProgramDecomposition decompose(const Program& prog, const DecompOptions& opts) {
         for (const ir::Bound& b : lp2.lowers) varying |= dep_on_l(b);
         for (const ir::Bound& b : lp2.uppers) varying |= dep_on_l(b);
       }
-      if (varying && la.sched == LoopSched::Distributed)
-        fold[static_cast<size_t>(pd)] = DistKind::Cyclic;
-      if (varying && la.sched == LoopSched::Pipelined &&
-          fold[static_cast<size_t>(pd)] == DistKind::Block)
-        fold[static_cast<size_t>(pd)] = DistKind::BlockCyclic;
+      la.imbalanced = varying;
+    }
+    if (rs != nullptr) {
+      support::ScopedSink nest_rs(rs, j, prog.nests[static_cast<size_t>(j)].name);
+      std::vector<std::string> scheds;
+      for (size_t l = 0; l < nd.loops.size(); ++l)
+        if (nd.loops[l].proc_dim >= 0)
+          scheds.push_back(strf(
+              "loop %d %s p%d%s", static_cast<int>(l),
+              nd.loops[l].sched == LoopSched::Distributed ? "DOALL" : "PIPE",
+              nd.loops[l].proc_dim, nd.loops[l].imbalanced ? " imbalanced" : ""));
+      nest_rs.note(strf(
+          "%s%s%s",
+          scheds.empty() ? "serial (no group honored)" : join(scheds, ", ").c_str(),
+          nd.comm_free ? ", comm-free" : ", +comm",
+          nd.boundary_free ? "" : ", boundary reads"));
+      if (!nd.comm_free) nest_rs.count("nests_with_comm");
     }
   }
 
-  // Barrier elimination [Tseng 95]: drop the barrier after nest j when no
-  // data can flow across processors into the next nest (cyclically,
-  // matching the time-loop steady state): both nests satisfy Eq. 1 for
-  // every reference (comm == 0), the next nest has no nearest-neighbour
-  // boundary reads (boundary == 0 — those cross owners), and both are
-  // pure doall schedules.
-  for (int j = 0; j < nnests && nnests > 1; ++j) {
-    const int next = (j + 1) % nnests;
-    const NestEval& a = evals[static_cast<size_t>(j)];
-    const NestEval& b = evals[static_cast<size_t>(next)];
-    const auto all_doall = [](const NestEval& e) {
-      return !e.honored.empty() &&
-             std::all_of(e.honored_sched.begin(), e.honored_sched.end(),
-                         [](LoopSched s) { return s == LoopSched::Distributed; });
-    };
-    if (a.comm == 0 && b.comm == 0 && b.boundary == 0 && all_doall(a) &&
-        all_doall(b))
-      out.nests[static_cast<size_t>(j)].barrier_after = false;
-  }
-
-  // Array decompositions.
+  // Array decompositions. Every distributed dimension starts BLOCK; the
+  // folding-function selection stage may upgrade it.
   out.arrays.resize(prog.arrays.size());
   for (size_t a = 0; a < prog.arrays.size(); ++a) {
     ArrayDecomposition& ad = out.arrays[a];
     ad.dims.assign(prog.arrays[a].dims.size(), DimDistribution{});
     if (!written[a]) {
       ad.replicated = true;
+      if (rs != nullptr) {
+        support::ScopedSink arr_rs(rs, -1, {}, static_cast<int>(a),
+                                   prog.arrays[a].name);
+        arr_rs.note("read-only: replicated on every cluster");
+        arr_rs.count("arrays_replicated");
+      }
       continue;
     }
     for (size_t k = 0; k < ad.dims.size(); ++k) {
@@ -644,21 +654,102 @@ ProgramDecomposition decompose(const Program& prog, const DecompOptions& opts) {
       if (g < 0 || !active[static_cast<size_t>(g)]) continue;
       const int pd = dim_of_group[static_cast<size_t>(g)];
       if (pd < 0) continue;
-      ad.dims[k].kind = fold[static_cast<size_t>(pd)];
+      ad.dims[k].kind = DistKind::Block;
       ad.dims[k].proc_dim = pd;
-      if (ad.dims[k].kind == DistKind::BlockCyclic)
-        ad.dims[k].block = opts.block_cyclic_block;
     }
+  }
+  if (rs != nullptr) {
+    rs->count("alignment_groups", ngroups);
+    rs->count("active_groups",
+              std::count(active.begin(), active.end(), true));
+    rs->count("proc_dims", out.num_proc_dims);
   }
   return out;
 }
 
+void select_folds(const Program& prog, ProgramDecomposition& d,
+                  const DecompOptions& opts, support::RemarkSink* rs) {
+  // CYCLIC wins over BLOCK-CYCLIC wins over BLOCK, across every nest that
+  // drives the dimension (order-independent).
+  std::vector<DistKind> fold(static_cast<size_t>(d.num_proc_dims),
+                             DistKind::Block);
+  for (const NestDecomposition& nd : d.nests)
+    for (const LoopAssignment& la : nd.loops) {
+      if (la.proc_dim < 0 || !la.imbalanced) continue;
+      DistKind& f = fold[static_cast<size_t>(la.proc_dim)];
+      if (la.sched == LoopSched::Distributed)
+        f = DistKind::Cyclic;
+      else if (la.sched == LoopSched::Pipelined && f == DistKind::Block)
+        f = DistKind::BlockCyclic;
+    }
+
+  for (size_t a = 0; a < d.arrays.size(); ++a) {
+    ArrayDecomposition& ad = d.arrays[a];
+    bool changed = false;
+    for (DimDistribution& dd : ad.dims) {
+      if (dd.kind == DistKind::Serial || dd.proc_dim < 0) continue;
+      const DistKind kind = fold[static_cast<size_t>(dd.proc_dim)];
+      changed |= kind != dd.kind;
+      dd.kind = kind;
+      dd.block = kind == DistKind::BlockCyclic ? opts.block_cyclic_block : 0;
+    }
+    if (rs != nullptr && ad.distributed_count() > 0) {
+      support::ScopedSink arr_rs(rs, -1, {}, static_cast<int>(a),
+                                 a < prog.arrays.size() ? prog.arrays[a].name
+                                                        : std::string());
+      arr_rs.note("DISTRIBUTE" + ad.hpf_string());
+      if (changed) arr_rs.count("arrays_refolded");
+    }
+  }
+  if (rs != nullptr)
+    for (int pd = 0; pd < d.num_proc_dims; ++pd)
+      rs->count("fold_" + to_string(fold[static_cast<size_t>(pd)]));
+}
+
+void eliminate_barriers(ProgramDecomposition& d, support::RemarkSink* rs) {
+  const int nnests = static_cast<int>(d.nests.size());
+  // Pure doall schedule honoring at least one group.
+  const auto all_doall = [](const NestDecomposition& nd) {
+    bool any = false;
+    for (const LoopAssignment& la : nd.loops) {
+      if (la.proc_dim < 0) continue;
+      if (la.sched != LoopSched::Distributed) return false;
+      any = true;
+    }
+    return any;
+  };
+  for (int j = 0; j < nnests && nnests > 1; ++j) {
+    const int next = (j + 1) % nnests;
+    const NestDecomposition& a = d.nests[static_cast<size_t>(j)];
+    const NestDecomposition& b = d.nests[static_cast<size_t>(next)];
+    if (a.comm_free && b.comm_free && b.boundary_free && all_doall(a) &&
+        all_doall(b)) {
+      d.nests[static_cast<size_t>(j)].barrier_after = false;
+      if (rs != nullptr) {
+        support::ScopedSink nest_rs(rs, j, {});
+        nest_rs.note(strf("barrier after nest %d eliminated [Tseng 95]", j));
+        nest_rs.count("barriers_eliminated");
+      }
+    }
+  }
+}
+
 ProgramDecomposition decompose_base(const Program& prog,
                                     const DecompOptions& opts) {
+  std::vector<ParallelizedNest> par;
+  for (const LoopNest& nest : prog.nests) par.push_back(dep::parallelize(nest));
+  return decompose_base_from(std::move(par), prog, opts);
+}
+
+ProgramDecomposition decompose_base_from(std::vector<ParallelizedNest> par,
+                                         const Program& prog,
+                                         const DecompOptions& opts,
+                                         support::RemarkSink* rs) {
   (void)opts;
   ProgramDecomposition out;
-  for (const LoopNest& nest : prog.nests)
-    out.par.push_back(dep::parallelize(nest));
+  out.par = std::move(par);
+  DCT_CHECK(out.par.size() == prog.nests.size(),
+            "one parallelized nest required per program nest");
   out.num_proc_dims = 1;
   out.clique_size = {1};
   out.clique_id = {0};
@@ -678,6 +769,12 @@ ProgramDecomposition decompose_base(const Program& prog,
       if (par.parallel[static_cast<size_t>(l)]) {
         nd.loops[static_cast<size_t>(l)] =
             LoopAssignment{LoopSched::Distributed, 0};
+        if (rs != nullptr) {
+          support::ScopedSink nest_rs(rs, static_cast<int>(j),
+                                      prog.nests[j].name);
+          nest_rs.note(strf("outermost parallel loop %d block-distributed", l));
+          nest_rs.count("distributed_nests");
+        }
         break;  // BASE: only the outermost parallel loop
       }
   }

@@ -32,6 +32,7 @@
 
 #include "dep/parallelize.hpp"
 #include "ir/program.hpp"
+#include "support/remark.hpp"
 
 namespace dct::decomp {
 
@@ -66,6 +67,10 @@ enum class LoopSched {
 struct LoopAssignment {
   LoopSched sched = LoopSched::Sequential;
   int proc_dim = -1;
+  /// Work along this loop is triangular (its bounds vary with outer loops
+  /// or inner bounds vary with it) — the fact folding-function selection
+  /// acts on (BLOCK would load-imbalance).
+  bool imbalanced = false;
 };
 
 /// Owner-computes mapping of one statement: for each virtual processor
@@ -83,6 +88,9 @@ struct NestDecomposition {
   std::vector<LoopAssignment> loops;
   std::vector<StmtMapping> stmts;  ///< per-statement owner mappings
   bool comm_free = true;  ///< Eq. 1 satisfied for all major references
+  /// No nearest-neighbour boundary reads under the honored mapping (those
+  /// cross owners even when Eq. 1 holds for the owner loop).
+  bool boundary_free = true;
   /// Synchronization optimization [Tseng 95]: the barrier after this nest
   /// can be dropped when the next nest's decomposition matches.
   bool barrier_after = true;
@@ -119,7 +127,8 @@ struct DecompOptions {
   Int block_cyclic_block = 8;
 };
 
-/// The paper's full global algorithm (Section 3).
+/// The paper's full global algorithm (Section 3): parallelizes every nest,
+/// then runs decompose_from + select_folds + eliminate_barriers.
 ProgramDecomposition decompose(const ir::Program& prog,
                                const DecompOptions& opts = {});
 
@@ -128,6 +137,39 @@ ProgramDecomposition decompose(const ir::Program& prog,
 /// untouched, a barrier after every nest.
 ProgramDecomposition decompose_base(const ir::Program& prog,
                                     const DecompOptions& opts = {});
+
+// --- pipeline stages (the pass-at-a-time interface compile() drives) ---
+//
+// decompose() and decompose_base() above remain the one-shot entry points;
+// the PassManager runs these stages individually so each gets its own
+// wall-time and remarks.
+
+/// Alignment grouping + global group selection + computation mapping, on
+/// nests already parallelized by the caller. Distributed dimensions come
+/// out BLOCK with load-imbalance facts recorded (see select_folds); every
+/// nest keeps its barrier (see eliminate_barriers).
+ProgramDecomposition decompose_from(std::vector<dep::ParallelizedNest> par,
+                                    const ir::Program& prog,
+                                    const DecompOptions& opts = {},
+                                    support::RemarkSink* rs = nullptr);
+
+/// BASE-mode decomposition over pre-parallelized nests.
+ProgramDecomposition decompose_base_from(
+    std::vector<dep::ParallelizedNest> par, const ir::Program& prog,
+    const DecompOptions& opts = {}, support::RemarkSink* rs = nullptr);
+
+/// Folding-function selection per virtual dimension: BLOCK by default,
+/// CYCLIC when a distributed loop is load-imbalanced, BLOCK-CYCLIC when a
+/// pipelined loop needs both balance and granularity.
+void select_folds(const ir::Program& prog, ProgramDecomposition& d,
+                  const DecompOptions& opts = {},
+                  support::RemarkSink* rs = nullptr);
+
+/// Barrier elimination [Tseng 95]: drop the barrier after a nest when no
+/// data can flow across processors into the next one (cyclically, matching
+/// the time-loop steady state).
+void eliminate_barriers(ProgramDecomposition& d,
+                        support::RemarkSink* rs = nullptr);
 
 /// Virtual-processor coordinates of an iteration of nest `j` under the
 /// decomposition (the affine G_j, evaluated). Entries are -1 on processor

@@ -6,6 +6,7 @@
 
 #include "ir/transform.hpp"
 #include "support/diagnostics.hpp"
+#include "support/str.hpp"
 
 namespace dct::dep {
 
@@ -122,7 +123,8 @@ struct Candidate {
 
 }  // namespace
 
-ParallelizedNest parallelize(const ir::LoopNest& nest) {
+ParallelizedNest parallelize(const ir::LoopNest& nest,
+                             support::RemarkSink* rs) {
   const int d = nest.depth();
   const NestDeps deps = analyze(nest);
 
@@ -179,7 +181,9 @@ ParallelizedNest parallelize(const ir::LoopNest& nest) {
   const bool any_parallel = std::any_of(
       candidates.begin(), candidates.end(),
       [](const Candidate& c) { return c.total_parallel > 0; });
+  bool skewed = false;
   if (!any_parallel && d >= 2) {
+    skewed = true;
     // Wavefront fallback: skew an inner loop by an outer one, optionally
     // composed with a permutation. Needs exact distances (checked inside
     // transform_vectors).
@@ -234,6 +238,18 @@ ParallelizedNest parallelize(const ir::LoopNest& nest) {
     if (l >= 0) out.deps.carried[static_cast<size_t>(l)] = true;
   }
   out.parallel = best->parallel;
+  if (rs != nullptr) {
+    rs->count("legal_candidates", static_cast<long>(candidates.size()));
+    rs->count("dependence_vectors", static_cast<long>(deps.vectors.size()));
+    if (!best->is_identity) rs->count("nests_transformed");
+    if (skewed) rs->count("wavefront_searches");
+    rs->note(strf("%s: %d of %d outer loop(s) DOALL%s",
+                  best->is_identity ? "identity transform"
+                                    : (skewed ? "skewed wavefront transform"
+                                              : "unimodular transform"),
+                  best->outer_parallel, d,
+                  best->stride1 > 0 ? ", stride-1 innermost" : ""));
+  }
   return out;
 }
 

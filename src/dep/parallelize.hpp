@@ -7,6 +7,7 @@
 
 #include "dep/dependence.hpp"
 #include "ir/program.hpp"
+#include "support/remark.hpp"
 
 namespace dct::dep {
 
@@ -23,7 +24,9 @@ struct ParallelizedNest {
 /// all dependences have exact distances, simple skews) for the legal
 /// transform maximizing outermost parallelism; ties prefer total
 /// parallelism, then stride-1 (column-major) innermost access, then the
-/// identity.
-ParallelizedNest parallelize(const ir::LoopNest& nest);
+/// identity. When `rs` is given, the search reports what it tried and what
+/// it chose as structured remarks.
+ParallelizedNest parallelize(const ir::LoopNest& nest,
+                             support::RemarkSink* rs = nullptr);
 
 }  // namespace dct::dep

@@ -166,10 +166,16 @@ std::string Layout::to_string() const {
 
 Layout derive_layout(const ir::ArrayDecl& decl,
                      const decomp::ArrayDecomposition& ad,
-                     std::span<const int> grid_extents) {
+                     std::span<const int> grid_extents,
+                     support::RemarkSink* rs) {
   Layout l = Layout::identity(decl.dims);
-  if (!decl.transformable || ad.replicated || ad.distributed_count() == 0)
+  if (!decl.transformable || ad.replicated || ad.distributed_count() == 0) {
+    if (rs != nullptr && !decl.transformable && ad.distributed_count() > 0) {
+      rs->note("distributed but not transformable (aliased/reshaped): kept");
+      rs->count("arrays_untransformable");
+    }
     return l;
+  }
 
   // Process distributed dimensions from highest to lowest so earlier
   // insertions do not disturb pending positions; collect the
@@ -195,8 +201,13 @@ Layout derive_layout(const ir::ArrayDecl& decl,
     // Local optimization (4.2): the highest dimension distributed BLOCK is
     // already rightmost — no strip-mining or permutation needed.
     if (dd.kind == decomp::DistKind::Block &&
-        cur == static_cast<int>(l.dims().size()) - 1)
+        cur == static_cast<int>(l.dims().size()) - 1) {
+      if (rs != nullptr) {
+        rs->note(strf("dim %d BLOCK already rightmost: transform skipped", k));
+        rs->count("local_optimization_skips");
+      }
       continue;
+    }
 
     int proc_pos = -1;
     switch (dd.kind) {
@@ -245,6 +256,13 @@ Layout derive_layout(const ir::ArrayDecl& decl,
     for (size_t k2 = 0; k2 < perm.size(); ++k2)
       ident &= perm[k2] == static_cast<int>(k2);
     if (!ident) l.apply(Permute{perm});
+  }
+  if (rs != nullptr) {
+    long strips = 0, permutes = 0;
+    for (const Transform& t : l.steps())
+      std::holds_alternative<StripMine>(t) ? ++strips : ++permutes;
+    if (strips != 0) rs->count("strip_mines", strips);
+    if (permutes != 0) rs->count("permutes", permutes);
   }
   return l;
 }

@@ -98,10 +98,12 @@ class Layout {
 /// The layout algorithm of Section 4.2: derive the restructured layout of
 /// one array from its data decomposition and the processor grid extents.
 /// Arrays that are not transformable (Section 4.1.3), replicated or
-/// undistributed keep the identity layout.
+/// undistributed keep the identity layout. When `rs` is given, each
+/// primitive applied (and each skip decision) is reported as a remark.
 Layout derive_layout(const ir::ArrayDecl& decl,
                      const decomp::ArrayDecomposition& ad,
-                     std::span<const int> grid_extents);
+                     std::span<const int> grid_extents,
+                     support::RemarkSink* rs = nullptr);
 
 /// Owner coordinates of an array element under a decomposition: for each
 /// virtual processor dimension, the folded coordinate, or -1 when the

@@ -1,0 +1,50 @@
+#include "support/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "support/env.hpp"
+
+namespace dct::support {
+
+int default_threads() {
+  const long env = env_int("DCT_THREADS", 0);
+  if (env > 0) return static_cast<int>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (threads <= 0) threads = default_threads();
+  const int workers = std::min(threads, n);
+
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(n));
+  auto work = [&] {
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[static_cast<size_t>(i)] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace dct::support

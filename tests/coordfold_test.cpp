@@ -1,0 +1,140 @@
+// Property tests for CoordFold::fold — the coordinate-to-owner map used
+// by the lowered SPMD code. The fold must be total (every coordinate maps
+// to a processor in [0, procs)) and must agree with the brute-force
+// definition of each HPF distribution kind, including for coordinates
+// that go negative after the offset is subtracted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/compiler.hpp"
+#include "support/rng.hpp"
+
+namespace dct::core {
+namespace {
+
+using decomp::DistKind;
+
+// Brute-force reference owner computations, written directly from the
+// distribution definitions rather than from the arithmetic in fold().
+//
+// BLOCK: processor p owns [p*block, (p+1)*block); coordinates below the
+// first block clamp to processor 0 and beyond the last to procs-1 (the
+// compiler only clamps at the boundary of slightly-oversized hulls).
+int block_ref(Int x, int procs, Int block) {
+  block = std::max<Int>(1, block);
+  if (x < 0) return 0;
+  for (int p = 0; p < procs; ++p)
+    if (x < static_cast<Int>(p + 1) * block) return p;
+  return procs - 1;
+}
+
+// CYCLIC: processor p owns every coordinate congruent to p modulo procs.
+int cyclic_ref(Int x, int procs) {
+  for (int p = 0; p < procs; ++p)
+    if ((x - p) % procs == 0) return p;
+  ADD_FAILURE() << "no congruent processor for " << x;
+  return -1;
+}
+
+// BLOCK-CYCLIC(b): coordinates are grouped into blocks of b and the
+// blocks are dealt out cyclically.
+int block_cyclic_ref(Int x, int procs, Int block) {
+  block = std::max<Int>(1, block);
+  // Find the block index q with q*block <= x < (q+1)*block, valid for
+  // negative x as well (floor semantics).
+  Int q = 0;
+  while (q * block > x) --q;
+  while ((q + 1) * block <= x) ++q;
+  return cyclic_ref(q, procs);
+}
+
+int reference(const CoordFold& f, Int v) {
+  const Int x = v - f.offset;
+  switch (f.kind) {
+    case DistKind::Serial: return 0;
+    case DistKind::Block: return block_ref(x, f.procs, f.block);
+    case DistKind::Cyclic: return cyclic_ref(x, f.procs);
+    case DistKind::BlockCyclic:
+      return block_cyclic_ref(x, f.procs, f.block);
+  }
+  return -1;
+}
+
+TEST(CoordFold, MatchesBruteForceReference) {
+  Rng rng(0x600df01d);
+  const DistKind kinds[] = {DistKind::Serial, DistKind::Block,
+                            DistKind::Cyclic, DistKind::BlockCyclic};
+  for (int trial = 0; trial < 20000; ++trial) {
+    CoordFold f;
+    f.kind = kinds[rng.uniform(0, 3)];
+    f.procs = static_cast<int>(rng.uniform(1, 9));
+    f.block = rng.uniform(1, 7);
+    f.offset = rng.uniform(-10, 10);
+    const Int v = rng.uniform(-50, 50);
+    const int got = f.fold(v);
+    ASSERT_GE(got, 0) << "kind=" << static_cast<int>(f.kind) << " v=" << v;
+    ASSERT_LT(got, f.procs)
+        << "kind=" << static_cast<int>(f.kind) << " v=" << v;
+    ASSERT_EQ(got, reference(f, v))
+        << "kind=" << static_cast<int>(f.kind) << " procs=" << f.procs
+        << " block=" << f.block << " offset=" << f.offset << " v=" << v;
+  }
+}
+
+TEST(CoordFold, BlockPartitionsContiguously) {
+  CoordFold f{DistKind::Block, /*procs=*/4, /*block=*/3, /*offset=*/2};
+  // Coordinates 2..13 split into four blocks of three.
+  for (Int v = 2; v < 14; ++v) EXPECT_EQ(f.fold(v), (v - 2) / 3);
+  // Out-of-hull coordinates clamp rather than wrap.
+  EXPECT_EQ(f.fold(1), 0);
+  EXPECT_EQ(f.fold(-100), 0);
+  EXPECT_EQ(f.fold(14), 3);
+  EXPECT_EQ(f.fold(1000), 3);
+}
+
+TEST(CoordFold, CyclicHandlesNegativeCoordinates) {
+  CoordFold f{DistKind::Cyclic, /*procs=*/4, /*block=*/1, /*offset=*/0};
+  EXPECT_EQ(f.fold(-1), 3);
+  EXPECT_EQ(f.fold(-4), 0);
+  EXPECT_EQ(f.fold(-5), 3);
+  // offset != 0 pushes small coordinates negative.
+  f.offset = 3;
+  EXPECT_EQ(f.fold(0), 1);  // x = -3 -> processor 1 (mod 4)
+  EXPECT_EQ(f.fold(2), 3);
+}
+
+TEST(CoordFold, BlockCyclicDealsBlocksRoundRobin) {
+  CoordFold f{DistKind::BlockCyclic, /*procs=*/3, /*block=*/2, /*offset=*/0};
+  const int want[] = {0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2};
+  for (Int v = 0; v < 12; ++v) EXPECT_EQ(f.fold(v), want[v]);
+  EXPECT_EQ(f.fold(-1), 2);  // block index -1 wraps to the last processor
+  EXPECT_EQ(f.fold(-2), 2);
+  EXPECT_EQ(f.fold(-3), 1);
+}
+
+TEST(CoordFold, DegenerateShapes) {
+  // block = 1 makes BLOCK-CYCLIC pure cyclic.
+  CoordFold bc{DistKind::BlockCyclic, 5, 1, 0};
+  CoordFold cy{DistKind::Cyclic, 5, 1, 0};
+  for (Int v = -20; v <= 20; ++v) EXPECT_EQ(bc.fold(v), cy.fold(v));
+
+  // A single processor owns everything under every kind.
+  for (DistKind k : {DistKind::Serial, DistKind::Block, DistKind::Cyclic,
+                     DistKind::BlockCyclic}) {
+    CoordFold one{k, 1, 3, -2};
+    for (Int v = -10; v <= 10; ++v) EXPECT_EQ(one.fold(v), 0);
+  }
+
+  // Size-1 dimension: only one coordinate ever occurs; it must still map
+  // in range for any legal fold.
+  CoordFold f{DistKind::Block, 8, 1, 0};
+  EXPECT_EQ(f.fold(0), 0);
+
+  // Serial ignores everything.
+  CoordFold s{DistKind::Serial, 7, 4, 9};
+  for (Int v = -30; v <= 30; ++v) EXPECT_EQ(s.fold(v), 0);
+}
+
+}  // namespace
+}  // namespace dct::core
