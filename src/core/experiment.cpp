@@ -48,6 +48,8 @@ SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
         eopts.collect_values = t.verify;
         results[static_cast<size_t>(i)] = runtime::simulate(
             cp, machine::MachineConfig::dash(t.procs), eopts);
+        traces[static_cast<size_t>(i)].merge(
+            results[static_cast<size_t>(i)].trace);
         if (t.verify)
           DCT_CHECK(results[static_cast<size_t>(i)].values == reference,
                     prog.name + ": transformed program changed results");

@@ -81,6 +81,16 @@ void Layout::apply(const Permute& p) {
   fns_ = std::move(nf);
 }
 
+std::vector<Int> Layout::strides() const {
+  std::vector<Int> out(dims_.size());
+  Int stride = 1;
+  for (size_t k = 0; k < dims_.size(); ++k) {
+    out[k] = stride;
+    stride = checked_mul(stride, dims_[k]);
+  }
+  return out;
+}
+
 Int Layout::size() const {
   Int n = 1;
   for (Int d : dims_) n = checked_mul(n, d);

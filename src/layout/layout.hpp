@@ -88,6 +88,15 @@ class Layout {
   };
   const std::vector<DimFn>& dim_functions() const { return fns_; }
 
+  /// True when every restructured dimension has a simple closed form —
+  /// the precondition for the Section 4.3 strength-reduced (incremental)
+  /// address walkers in the runtime.
+  bool all_simple() const { return fast_; }
+
+  /// Column-major element strides of the restructured dimensions:
+  /// strides()[k] multiplies dim_functions()[k]'s value in linearize().
+  std::vector<Int> strides() const;
+
  private:
   std::vector<Int> dims_;
   std::vector<Transform> steps_;

@@ -1,5 +1,6 @@
 #include "machine/machine.hpp"
 
+#include <bit>
 #include <sstream>
 
 #include "support/diagnostics.hpp"
@@ -25,6 +26,7 @@ void ProcStats::add(const ProcStats& o) {
   replace_misses += o.replace_misses;
   coherence_true += o.coherence_true;
   coherence_false += o.coherence_false;
+  dir_fast_hits += o.dir_fast_hits;
   memory_cycles += o.memory_cycles;
 }
 
@@ -37,20 +39,31 @@ std::string ProcStats::to_string() const {
       coherence_true, coherence_false);
 }
 
-Machine::Machine(const MachineConfig& cfg) : cfg_(cfg) {
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg), fast_enabled_(cfg.fast_directory) {
   DCT_CHECK(cfg.procs >= 1 && cfg.procs <= 64, "1..64 processors supported");
   DCT_CHECK(cfg.l1.assoc == 1 && cfg.l2.assoc == 1,
             "only direct-mapped caches modelled (as on DASH)");
   procs_.resize(static_cast<size_t>(cfg.procs));
   stats_.resize(static_cast<size_t>(cfg.procs));
+  fast_hits_.assign(static_cast<size_t>(cfg.procs), 0);
   for (auto& p : procs_) {
     p.l1.lines = cfg.l1.size_bytes / cfg.l1.line_bytes;
     p.l1.tag.assign(static_cast<size_t>(p.l1.lines), -1);
+    p.l1.fast.assign(static_cast<size_t>(p.l1.lines), 0);
     p.l2.lines = cfg.l2.size_bytes / cfg.l2.line_bytes;
     p.l2.tag.assign(static_cast<size_t>(p.l2.lines), -1);
   }
   directory_.reserve(1 << 16);
   page_home_.reserve(1 << 12);
+  const Int lines = procs_[0].l1.lines;
+  const auto pow2 = [](Int v) { return v > 0 && (v & (v - 1)) == 0; };
+  if (pow2(cfg_.l1.line_bytes) && pow2(lines)) {
+    line_shift_ = std::countr_zero(static_cast<std::uint64_t>(cfg_.l1.line_bytes));
+    l1_slot_mask_ = static_cast<size_t>(lines - 1);
+  } else {
+    fast_enabled_ = false;
+  }
 }
 
 bool Machine::lookup(CacheLevel& c, Int line) const {
@@ -58,10 +71,12 @@ bool Machine::lookup(CacheLevel& c, Int line) const {
 }
 
 void Machine::insert(int proc, CacheLevel& c, Int line) {
-  Int& slot = c.tag[static_cast<size_t>(line % c.lines)];
+  const size_t set = static_cast<size_t>(line % c.lines);
+  Int& slot = c.tag[set];
   if (slot == line) return;
   if (slot >= 0) evict_notify(proc, slot);
   slot = line;
+  if (!c.fast.empty()) c.fast[set] = 0;
 }
 
 /// A line fell out of one cache level; if it is in neither level, the
@@ -77,10 +92,22 @@ void Machine::evict_notify(int proc, Int line) {
 
 void Machine::drop_line(int proc, Int line) {
   Proc& p = procs_[static_cast<size_t>(proc)];
-  Int& s1 = p.l1.tag[static_cast<size_t>(line % p.l1.lines)];
-  if (s1 == line) s1 = -1;
+  const size_t set1 = static_cast<size_t>(line % p.l1.lines);
+  if (p.l1.tag[set1] == line) {
+    p.l1.tag[set1] = -1;
+    p.l1.fast[set1] = 0;
+  }
   Int& s2 = p.l2.tag[static_cast<size_t>(line % p.l2.lines)];
   if (s2 == line) s2 = -1;
+}
+
+/// A dirty line was downgraded to shared: its (former) owner may no longer
+/// write it without a directory transition.
+void Machine::clear_write_fast(int proc, Int line) {
+  Proc& p = procs_[static_cast<size_t>(proc)];
+  const size_t set = static_cast<size_t>(line % p.l1.lines);
+  if (p.l1.tag[set] == line)
+    p.l1.fast[set] &= static_cast<std::uint8_t>(~kWriteFast);
 }
 
 int Machine::home_cluster(Int line) {
@@ -104,7 +131,7 @@ double Machine::barrier_cost(int participants) const {
   return cfg_.barrier_base + cfg_.barrier_per_proc * participants;
 }
 
-double Machine::access(int proc, Int byte_addr, bool is_write) {
+double Machine::access_slow(int proc, Int byte_addr, bool is_write) {
   const Int line = byte_addr / cfg_.l1.line_bytes;
   const int word =
       static_cast<int>((byte_addr % cfg_.l1.line_bytes) / 4);  // 4B words
@@ -147,6 +174,8 @@ double Machine::access(int proc, Int byte_addr, bool is_write) {
     }
     dir.sharers |= self;
     dir.touched = true;
+    p.l1.fast[static_cast<size_t>(line % p.l1.lines)] = static_cast<
+        std::uint8_t>(kReadFast | (dir.dirty_owner == proc ? kWriteFast : 0));
     st.memory_cycles += latency;
     return latency;
   }
@@ -191,20 +220,34 @@ double Machine::access(int proc, Int byte_addr, bool is_write) {
     dir.sharers = self;
     dir.dirty_owner = proc;
   } else {
-    if (dir.dirty_owner >= 0 && dir.dirty_owner != proc)
+    if (dir.dirty_owner >= 0 && dir.dirty_owner != proc) {
+      clear_write_fast(dir.dirty_owner, line);
       dir.dirty_owner = -1;  // downgraded to shared, memory updated
+    }
     dir.sharers |= self;
   }
 
   insert(proc, p.l2, line);
   insert(proc, p.l1, line);
+  p.l1.fast[static_cast<size_t>(line % p.l1.lines)] = static_cast<
+      std::uint8_t>(kReadFast | (dir.dirty_owner == proc ? kWriteFast : 0));
   st.memory_cycles += latency;
   return latency;
 }
 
+ProcStats Machine::stats(int proc) const {
+  ProcStats s = stats_[static_cast<size_t>(proc)];
+  const long long fh = fast_hits_[static_cast<size_t>(proc)];
+  s.accesses += fh;
+  s.l1_hits += fh;
+  s.dir_fast_hits += fh;
+  s.memory_cycles += static_cast<double>(fh) * cfg_.lat_l1;
+  return s;
+}
+
 ProcStats Machine::total_stats() const {
   ProcStats total;
-  for (const auto& s : stats_) total.add(s);
+  for (int p = 0; p < cfg_.procs; ++p) total.add(stats(p));
   return total;
 }
 

@@ -49,6 +49,12 @@ struct MachineConfig {
   double barrier_per_proc = 20;
   /// Acquiring a free lock / producer-consumer hand-off.
   double lock_cycles = 60;
+  /// Take the L1-hit fast path that skips the directory hash lookup when
+  /// the line's coherence state provably cannot change (see
+  /// Machine::access). Identical latencies and statistics either way —
+  /// only ProcStats::dir_fast_hits differs; off = always exercise the
+  /// full directory protocol (DCT_FAST_EXEC=0 disables it).
+  bool fast_directory = true;
 
   int clusters() const { return (procs + procs_per_cluster - 1) / procs_per_cluster; }
   int cluster_of(int proc) const { return proc / procs_per_cluster; }
@@ -70,6 +76,9 @@ struct ProcStats {
   long long replace_misses = 0;
   long long coherence_true = 0;
   long long coherence_false = 0;
+  /// L1 hits served by the directory fast path (subset of l1_hits; the
+  /// only counter that depends on MachineConfig::fast_directory).
+  long long dir_fast_hits = 0;
   double memory_cycles = 0;
 
   void add(const ProcStats& o);
@@ -83,7 +92,28 @@ class Machine {
 
   /// Simulate one access; returns its latency in cycles and updates the
   /// per-processor statistics.
-  double access(int proc, Int byte_addr, bool is_write);
+  ///
+  /// Fast path (cfg.fast_directory): an L1 hit whose slot carries the
+  /// right fast flag — read: the processor is a recorded sharer; write:
+  /// the processor is the dirty owner — needs no directory transition at
+  /// all, so the `directory_` hash lookup is skipped entirely. The slow
+  /// path maintains the flags; invalidations and downgrades clear them.
+  double access(int proc, Int byte_addr, bool is_write) {
+    if (fast_enabled_) {
+      Proc& p = procs_[static_cast<size_t>(proc)];
+      const Int line = byte_addr >> line_shift_;
+      const size_t slot = static_cast<size_t>(line) & l1_slot_mask_;
+      if (p.l1.tag[slot] == line &&
+          (p.l1.fast[slot] & (is_write ? kWriteFast : kReadFast)) != 0) {
+        // One dense counter; folded into ProcStats when stats are read
+        // (a fast hit bumps accesses, l1_hits, dir_fast_hits and lat_l1
+        // memory cycles — all derivable from the count).
+        ++fast_hits_[static_cast<size_t>(proc)];
+        return cfg_.lat_l1;
+      }
+    }
+    return access_slow(proc, byte_addr, is_write);
+  }
 
   /// Cost of a barrier across `participants` processors.
   double barrier_cost(int participants) const;
@@ -93,15 +123,20 @@ class Machine {
   void home_page(Int byte_addr, int cluster);
 
   const MachineConfig& config() const { return cfg_; }
-  const ProcStats& stats(int proc) const {
-    return stats_[static_cast<size_t>(proc)];
-  }
+  /// Per-processor statistics with the deferred fast-path hits folded in.
+  ProcStats stats(int proc) const;
   ProcStats total_stats() const;
 
  private:
+  static constexpr std::uint8_t kReadFast = 1;   ///< sharer; reads are free
+  static constexpr std::uint8_t kWriteFast = 2;  ///< dirty owner
+
   struct CacheLevel {
     Int lines = 0;  ///< number of sets (direct-mapped)
     std::vector<Int> tag;  ///< -1 = invalid; tag = line address
+    /// L1 only: per-slot fast-path flags (kReadFast | kWriteFast), valid
+    /// while the tag matches. Empty for L2.
+    std::vector<std::uint8_t> fast;
   };
   struct Proc {
     CacheLevel l1, l2;
@@ -116,15 +151,25 @@ class Machine {
     bool touched = false;
   };
 
+  double access_slow(int proc, Int byte_addr, bool is_write);
   bool lookup(CacheLevel& c, Int line) const;
   void insert(int proc, CacheLevel& c, Int line);
   void evict_notify(int proc, Int line);
   void drop_line(int proc, Int line);
+  void clear_write_fast(int proc, Int line);
   int home_cluster(Int line);
 
   MachineConfig cfg_;
+  /// The fast path additionally requires power-of-two line size and L1
+  /// set count so the address split is a shift and a mask; otherwise it is
+  /// disabled and every access takes the full protocol (same results).
+  bool fast_enabled_ = true;
+  int line_shift_ = 0;
+  size_t l1_slot_mask_ = 0;
   std::vector<Proc> procs_;
   std::vector<ProcStats> stats_;
+  /// Directory-fast-path hits per processor, folded into stats_ on read.
+  std::vector<long long> fast_hits_;
   std::unordered_map<Int, Line> directory_;
   std::unordered_map<Int, int> page_home_;
   int next_rr_cluster_ = 0;

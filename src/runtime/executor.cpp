@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/walker.hpp"
 #include "support/diagnostics.hpp"
+#include "support/env.hpp"
 #include "support/rng.hpp"
+#include "support/str.hpp"
 
 namespace dct::runtime {
 
@@ -43,10 +46,123 @@ void for_each_element(const ir::ArrayDecl& decl, Fn&& fn) {
   }
 }
 
+/// Per-element simulation state, one cache-friendly record per address:
+/// the value, the completion time of the last write and the writer id
+/// (-1 = initial data). Keeping the three together costs one cache line
+/// per access instead of up to three.
+struct Cell {
+  double data = 0;
+  double wtime = 0;
+  std::int8_t wproc = -1;
+};
+
 struct ArrayState {
-  std::vector<double> data;    ///< by restructured element address
-  std::vector<double> wtime;   ///< last write completion time
-  std::vector<std::int8_t> wproc;  ///< last writer, -1 = initial data
+  std::vector<Cell> cells;  ///< by restructured element address
+};
+
+/// Incremental owner fold over the innermost loop variable: the same
+/// BLOCK / CYCLIC / BLOCK-CYCLIC folding as core::CoordFold::fold, but
+/// maintained by increment-and-compare instead of div/mod per iteration.
+struct OwnerStep {
+  decomp::DistKind kind = decomp::DistKind::Serial;
+  Int block = 1;
+  int procs = 1;
+  int stride = 1;
+  Int offset = 0;
+  // State.
+  Int rem = 0;  ///< (v - offset) mod block, in [0, block)
+  Int f = 0;    ///< unclamped floor((v - offset) / block)
+  int g = 0;    ///< f mod procs (CYCLIC: (v - offset) mod procs)
+
+  explicit OwnerStep(const core::CoordFold& cf)
+      : kind(cf.kind), block(std::max<Int>(1, cf.block)), procs(cf.procs),
+        stride(cf.stride), offset(cf.offset) {}
+
+  void init(Int v) {
+    const Int x = v - offset;
+    switch (kind) {
+      case decomp::DistKind::Serial:
+        break;
+      case decomp::DistKind::Block:
+        f = linalg::floor_div(x, block);
+        rem = x - f * block;
+        break;
+      case decomp::DistKind::Cyclic:
+        g = static_cast<int>(linalg::floor_mod(x, procs));
+        break;
+      case decomp::DistKind::BlockCyclic:
+        f = linalg::floor_div(x, block);
+        rem = x - f * block;
+        g = static_cast<int>(linalg::floor_mod(f, procs));
+        break;
+    }
+  }
+
+  void step() {
+    switch (kind) {
+      case decomp::DistKind::Serial:
+        break;
+      case decomp::DistKind::Block:
+        if (++rem == block) { rem = 0; ++f; }
+        break;
+      case decomp::DistKind::Cyclic:
+        if (++g == procs) g = 0;
+        break;
+      case decomp::DistKind::BlockCyclic:
+        if (++rem == block) {
+          rem = 0;
+          if (++g == procs) g = 0;
+        }
+        break;
+    }
+  }
+
+  /// Folded coordinate times the mixed-radix stride (CoordFold semantics).
+  int value() const {
+    switch (kind) {
+      case decomp::DistKind::Serial:
+        return 0;
+      case decomp::DistKind::Block:
+        return static_cast<int>(std::clamp<Int>(f, 0, procs - 1)) * stride;
+      case decomp::DistKind::Cyclic:
+      case decomp::DistKind::BlockCyclic:
+        return g * stride;
+    }
+    return 0;
+  }
+};
+
+/// Per-reference execution plan of the fast engine.
+struct RefPlan {
+  const CompiledRef* ref = nullptr;
+  const core::CompiledArray* ca = nullptr;
+  ArrayState* as = nullptr;
+  Int base_addr = 0;
+  Int elem_size = 8;
+  Int copy_bytes = 0;
+  bool replicated = false;
+  double addr_overhead = 0;
+  bool walk = false;  ///< addresses come from the incremental walker
+  RefWalker walker;
+};
+
+/// Per-statement execution plan of the fast engine.
+struct StmtPlan {
+  const CompiledStmt* cs = nullptr;
+  bool full_depth = false;  ///< executes on every innermost iteration
+  double compute_cycles = 0;  ///< cached from cs for the hot loop
+  bool has_eval = false;
+  /// Owner pairs invariant over the innermost loop — folded once per
+  /// segment into q_base.
+  std::vector<std::pair<int, core::CoordFold>> hoisted_owner;
+  /// Owner pairs on the innermost loop — stepped incrementally.
+  std::vector<OwnerStep> inner_owner;
+  std::vector<RefPlan> reads, writes;
+  int q_base = 0;  ///< per-segment hoisted owner contribution
+};
+
+struct NestPlan {
+  std::vector<StmtPlan> stmts;
 };
 
 }  // namespace
@@ -55,7 +171,15 @@ RunResult simulate(const CompiledProgram& cp,
                    const machine::MachineConfig& mcfg,
                    const ExecOptions& opts) {
   DCT_CHECK(mcfg.procs == cp.procs, "machine/compile processor mismatch");
-  machine::Machine machine(mcfg);
+  // The writer-id field of the dataflow state is an int8.
+  DCT_CHECK(cp.procs <= 127, "simulate supports at most 127 processors "
+                             "(int8 writer ids)");
+  const bool use_fast =
+      (opts.fast_exec >= 0 ? opts.fast_exec
+                           : env_int("DCT_FAST_EXEC", 1)) != 0;
+  machine::MachineConfig mc = mcfg;
+  mc.fast_directory = mc.fast_directory && use_fast;
+  machine::Machine machine(mc);
   const int P = cp.procs;
   const ir::Program& prog = cp.program;
 
@@ -79,9 +203,7 @@ RunResult simulate(const CompiledProgram& cp,
   for (size_t a = 0; a < prog.arrays.size(); ++a) {
     const core::CompiledArray& ca = cp.arrays[a];
     const ir::ArrayDecl& decl = prog.arrays[a];
-    state[a].data.assign(static_cast<size_t>(ca.layout.size()), 0.0);
-    state[a].wtime.assign(state[a].data.size(), 0.0);
-    state[a].wproc.assign(state[a].data.size(), -1);
+    state[a].cells.assign(static_cast<size_t>(ca.layout.size()), Cell{});
 
     const bool distributed =
         !ca.replicated &&
@@ -92,7 +214,7 @@ RunResult simulate(const CompiledProgram& cp,
         static_cast<size_t>(pages), {INT64_MAX, -1});
     for_each_element(decl, [&](std::span<const Int> idx, Int) {
       const Int lin = ca.layout.linearize(idx);
-      state[a].data[static_cast<size_t>(lin)] =
+      state[a].cells[static_cast<size_t>(lin)].data =
           init_value(opts.init_seed, static_cast<int>(a),
                      // original linear index for layout-independence
                      [&] {
@@ -131,11 +253,37 @@ RunResult simulate(const CompiledProgram& cp,
   RunResult res;
   res.proc_cycles.assign(static_cast<size_t>(P), 0.0);
   std::vector<double>& clock = res.proc_cycles;
+  ExecCounters ctr;
 
-  std::vector<Int> scratch(8, 0);
-  std::vector<double> vals(16, 0.0);
+  // Scratch buffers sized from the program, not fixed capacities: the
+  // deepest array rank and the widest statement read list actually present.
+  size_t max_rank = 1, max_reads = 1;
+  for (const ir::ArrayDecl& decl : prog.arrays)
+    max_rank = std::max(max_rank, decl.dims.size());
+  for (const core::CompiledNest& cn : cp.nests)
+    for (const CompiledStmt& cs : cn.stmts)
+      max_reads = std::max(max_reads, cs.reads.size());
+  std::vector<Int> scratch(max_rank, 0);
+  std::vector<double> vals(max_reads, 0.0);
 
-  auto run_nest = [&](const core::CompiledNest& cn) {
+  // Affine subscripts + Layout::linearize — the interpreter address path
+  // and the fast engine's fallback for non-walkable references.
+  auto element_addr = [&](const CompiledRef& ref, int d,
+                          std::span<const Int> iter) {
+    for (int r = 0; r < ref.rank; ++r) {
+      Int v = ref.offsets[static_cast<size_t>(r)];
+      const Int* row =
+          ref.coeffs.data() + static_cast<size_t>(r) * static_cast<size_t>(d);
+      for (int k = 0; k < d; ++k) v += row[k] * iter[static_cast<size_t>(k)];
+      scratch[static_cast<size_t>(r)] = v;
+    }
+    ++ctr.linearize_fallback;
+    return cp.arrays[static_cast<size_t>(ref.array)].layout.linearize(
+        std::span<const Int>(scratch.data(), static_cast<size_t>(ref.rank)));
+  };
+
+  // ---- interpreter engine (DCT_FAST_EXEC=0): re-evaluate everything ----
+  auto run_nest_interp = [&](const core::CompiledNest& cn) {
     const int d = static_cast<int>(cn.nest.loops.size());
     if (d == 0) return;
     std::vector<Int> iter(static_cast<size_t>(d)), lb(static_cast<size_t>(d)),
@@ -157,30 +305,16 @@ RunResult simulate(const CompiledProgram& cp,
         double t = clock[static_cast<size_t>(q)] + cs.compute_cycles;
         const int cluster = mcfg.cluster_of(q);
 
-        auto element_addr = [&](const CompiledRef& ref) {
-          for (int r = 0; r < ref.rank; ++r) {
-            Int v = ref.offsets[static_cast<size_t>(r)];
-            const Int* row =
-                ref.coeffs.data() + static_cast<size_t>(r) *
-                                        static_cast<size_t>(d);
-            for (int k = 0; k < d; ++k) v += row[k] * iter[static_cast<size_t>(k)];
-            scratch[static_cast<size_t>(r)] = v;
-          }
-          return cp.arrays[static_cast<size_t>(ref.array)].layout.linearize(
-              std::span<const Int>(scratch.data(),
-                                   static_cast<size_t>(ref.rank)));
-        };
-
         size_t vi = 0;
         for (const CompiledRef& ref : cs.reads) {
           const core::CompiledArray& ca =
               cp.arrays[static_cast<size_t>(ref.array)];
-          const Int lin = element_addr(ref);
-          ArrayState& as = state[static_cast<size_t>(ref.array)];
+          const Int lin = element_addr(ref, d, iter);
+          const Cell& c =
+              state[static_cast<size_t>(ref.array)].cells[static_cast<size_t>(lin)];
           // Cross-processor dataflow.
-          const std::int8_t wp = as.wproc[static_cast<size_t>(lin)];
-          if (wp >= 0 && wp != q) {
-            const double wt = as.wtime[static_cast<size_t>(lin)];
+          if (c.wproc >= 0 && c.wproc != q) {
+            const double wt = c.wtime;
             if (wt > t) {
               res.wait_cycles += wt - t;
               t = wt + mcfg.lock_cycles;
@@ -190,23 +324,23 @@ RunResult simulate(const CompiledProgram& cp,
                      lin * prog.arrays[static_cast<size_t>(ref.array)].elem_size;
           if (ca.replicated) byte += static_cast<Int>(cluster) * ca.bytes;
           t += machine.access(q, byte, false) + ref.addr_overhead;
-          vals[vi++] = as.data[static_cast<size_t>(lin)];
+          vals[vi++] = c.data;
         }
         for (const CompiledRef& ref : cs.writes) {
           const core::CompiledArray& ca =
               cp.arrays[static_cast<size_t>(ref.array)];
           DCT_CHECK(!ca.replicated, "write to replicated array");
-          const Int lin = element_addr(ref);
-          ArrayState& as = state[static_cast<size_t>(ref.array)];
+          const Int lin = element_addr(ref, d, iter);
+          Cell& c =
+              state[static_cast<size_t>(ref.array)].cells[static_cast<size_t>(lin)];
           const Int byte =
               ca.base_addr +
               lin * prog.arrays[static_cast<size_t>(ref.array)].elem_size;
           t += machine.access(q, byte, true) + ref.addr_overhead;
           if (cs.eval)
-            as.data[static_cast<size_t>(lin)] =
-                cs.eval(std::span<const double>(vals.data(), vi));
-          as.wproc[static_cast<size_t>(lin)] = static_cast<std::int8_t>(q);
-          as.wtime[static_cast<size_t>(lin)] = t;
+            c.data = cs.eval(std::span<const double>(vals.data(), vi));
+          c.wproc = static_cast<std::int8_t>(q);
+          c.wtime = t;
         }
         clock[static_cast<size_t>(q)] = t;
         ++res.statements;
@@ -235,9 +369,325 @@ RunResult simulate(const CompiledProgram& cp,
     }
   };
 
+  // ---- fast engine: walkers + hoisted owners, compiled up front ----
+  std::vector<int> cluster_of(static_cast<size_t>(P));
+  for (int q = 0; q < P; ++q) cluster_of[static_cast<size_t>(q)] = mcfg.cluster_of(q);
+  std::vector<NestPlan> plans;
+  if (use_fast) {
+    plans.resize(cp.nests.size());
+    for (size_t j = 0; j < cp.nests.size(); ++j) {
+      const core::CompiledNest& cn = cp.nests[j];
+      const int d = static_cast<int>(cn.nest.loops.size());
+      for (const CompiledStmt& cs : cn.stmts) {
+        StmtPlan sp;
+        sp.cs = &cs;
+        sp.full_depth = cs.depth >= d;
+        sp.compute_cycles = cs.compute_cycles;
+        sp.has_eval = static_cast<bool>(cs.eval);
+        for (const auto& pair : cs.owner) {
+          if (sp.full_depth && pair.first == d - 1)
+            sp.inner_owner.push_back(OwnerStep(pair.second));
+          else
+            sp.hoisted_owner.push_back(pair);
+        }
+        auto plan_ref = [&](const CompiledRef& ref, bool is_write) {
+          RefPlan rp;
+          rp.ref = &ref;
+          rp.ca = &cp.arrays[static_cast<size_t>(ref.array)];
+          rp.as = &state[static_cast<size_t>(ref.array)];
+          rp.base_addr = rp.ca->base_addr;
+          rp.elem_size = prog.arrays[static_cast<size_t>(ref.array)].elem_size;
+          rp.copy_bytes = rp.ca->bytes;
+          rp.replicated = rp.ca->replicated;
+          rp.addr_overhead = ref.addr_overhead;
+          if (is_write)
+            DCT_CHECK(!rp.replicated, "write to replicated array");
+          // Walkers pay off only for references advanced every innermost
+          // iteration; gated statements keep the interpreter path.
+          if (sp.full_depth)
+            rp.walk = rp.walker.build(ref, rp.ca->layout, d);
+          return rp;
+        };
+        for (const CompiledRef& ref : cs.reads)
+          sp.reads.push_back(plan_ref(ref, false));
+        for (const CompiledRef& ref : cs.writes)
+          sp.writes.push_back(plan_ref(ref, true));
+        plans[j].stmts.push_back(std::move(sp));
+      }
+    }
+  }
+
+  auto run_nest_fast = [&](const core::CompiledNest& cn, NestPlan& np) {
+    const int d = static_cast<int>(cn.nest.loops.size());
+    if (d == 0) return;
+    const int inner = d - 1;
+    std::vector<Int> iter(static_cast<size_t>(d)), lb(static_cast<size_t>(d)),
+        ub(static_cast<size_t>(d));
+
+    // One gated (depth < d) statement execution — interpreter addressing.
+    auto exec_gated = [&](StmtPlan& sp) {
+      const CompiledStmt& cs = *sp.cs;
+      int q = 0;
+      for (const auto& [loop, fold] : cs.owner)
+        q += fold.fold(iter[static_cast<size_t>(loop)]) * fold.stride;
+      if (q >= P) q = P - 1;
+      double t = clock[static_cast<size_t>(q)] + cs.compute_cycles;
+      const int cluster = mcfg.cluster_of(q);
+      size_t vi = 0;
+      for (RefPlan& rp : sp.reads) {
+        const Int lin = element_addr(*rp.ref, d, iter);
+        const Cell& c = rp.as->cells[static_cast<size_t>(lin)];
+        if (c.wproc >= 0 && c.wproc != q) {
+          const double wt = c.wtime;
+          if (wt > t) {
+            res.wait_cycles += wt - t;
+            t = wt + mcfg.lock_cycles;
+          }
+        }
+        Int byte = rp.base_addr + lin * rp.elem_size;
+        if (rp.replicated) byte += static_cast<Int>(cluster) * rp.copy_bytes;
+        t += machine.access(q, byte, false) + rp.addr_overhead;
+        vals[vi++] = c.data;
+      }
+      for (RefPlan& rp : sp.writes) {
+        const Int lin = element_addr(*rp.ref, d, iter);
+        Cell& c = rp.as->cells[static_cast<size_t>(lin)];
+        const Int byte = rp.base_addr + lin * rp.elem_size;
+        t += machine.access(q, byte, true) + rp.addr_overhead;
+        if (cs.eval)
+          c.data = cs.eval(std::span<const double>(vals.data(), vi));
+        c.wproc = static_cast<std::int8_t>(q);
+        c.wtime = t;
+      }
+      clock[static_cast<size_t>(q)] = t;
+      ++res.statements;
+    };
+
+    // Run one innermost segment: iter[0..inner) fixed, iter[inner] already
+    // at its lower bound, ub[inner] valid, segment known non-empty.
+    auto run_segment = [&]() {
+      const Int ilb = iter[static_cast<size_t>(inner)];
+      const Int iub = ub[static_cast<size_t>(inner)];
+      const Int len = iub - ilb + 1;
+      long long n_full = 0;
+      for (StmtPlan& sp : np.stmts) {
+        if (!sp.full_depth) continue;
+        ++n_full;
+        int qb = 0;
+        for (const auto& [loop, fold] : sp.hoisted_owner)
+          qb += fold.fold(iter[static_cast<size_t>(loop)]) * fold.stride;
+        sp.q_base = qb;
+        for (OwnerStep& os : sp.inner_owner) os.init(ilb);
+        long long walkers = 0;
+        for (RefPlan& rp : sp.reads)
+          if (rp.walk) {
+            rp.walker.init(iter);
+            ++walkers;
+          }
+        for (RefPlan& rp : sp.writes)
+          if (rp.walk) {
+            rp.walker.init(iter);
+            ++walkers;
+          }
+        // Segment-granular bookkeeping keeps the counters off the hot path.
+        ctr.walker_fast += walkers * len;
+        if (sp.inner_owner.empty()) ctr.owner_hoisted += len;
+      }
+      res.statements += n_full * len;
+      for (Int i = ilb;; ++i) {
+        iter[static_cast<size_t>(inner)] = i;
+        for (StmtPlan& sp : np.stmts) {
+          if (!sp.full_depth) {
+            // Gated statement: runs once per prefix, at the first
+            // iteration of every loop below its depth.
+            if (i != ilb) continue;
+            bool first = true;
+            for (int k = sp.cs->depth; k < inner && first; ++k)
+              first =
+                  iter[static_cast<size_t>(k)] == lb[static_cast<size_t>(k)];
+            if (!first) continue;
+            exec_gated(sp);
+            continue;
+          }
+          int q = sp.q_base;
+          for (OwnerStep& os : sp.inner_owner) {
+            q += os.value();
+            os.step();  // advance for the next iteration (harmless past end)
+          }
+          if (q >= P) q = P - 1;
+          double t = clock[static_cast<size_t>(q)] + sp.compute_cycles;
+          const int cluster = cluster_of[static_cast<size_t>(q)];
+          size_t vi = 0;
+          for (RefPlan& rp : sp.reads) {
+            Int lin;
+            if (rp.walk) {
+              lin = rp.walker.addr();
+              rp.walker.step();
+            } else {
+              lin = element_addr(*rp.ref, d, iter);
+            }
+            const Cell& c = rp.as->cells[static_cast<size_t>(lin)];
+            if (c.wproc >= 0 && c.wproc != q) {
+              const double wt = c.wtime;
+              if (wt > t) {
+                res.wait_cycles += wt - t;
+                t = wt + mcfg.lock_cycles;
+              }
+            }
+            Int byte = rp.base_addr + lin * rp.elem_size;
+            if (rp.replicated)
+              byte += static_cast<Int>(cluster) * rp.copy_bytes;
+            t += machine.access(q, byte, false) + rp.addr_overhead;
+            vals[vi++] = c.data;
+          }
+          for (RefPlan& rp : sp.writes) {
+            Int lin;
+            if (rp.walk) {
+              lin = rp.walker.addr();
+              rp.walker.step();
+            } else {
+              lin = element_addr(*rp.ref, d, iter);
+            }
+            Cell& c = rp.as->cells[static_cast<size_t>(lin)];
+            const Int byte = rp.base_addr + lin * rp.elem_size;
+            t += machine.access(q, byte, true) + rp.addr_overhead;
+            if (sp.has_eval)
+              c.data = sp.cs->eval(std::span<const double>(vals.data(), vi));
+            c.wproc = static_cast<std::int8_t>(q);
+            c.wtime = t;
+          }
+          clock[static_cast<size_t>(q)] = t;
+        }
+        if (i == iub) break;
+      }
+      iter[static_cast<size_t>(inner)] = iub + 1;  // segment exhausted
+    };
+
+    // Specialized segment for the common single-statement nest: no gated
+    // statements to interleave with, so the owner's clock rides in a
+    // register and is flushed only when the owner changes (at distribution
+    // block boundaries) instead of loaded and stored every iteration.
+    auto run_segment_single = [&]() {
+      StmtPlan& sp = np.stmts[0];
+      const Int ilb = iter[static_cast<size_t>(inner)];
+      const Int iub = ub[static_cast<size_t>(inner)];
+      const Int len = iub - ilb + 1;
+      int qb = 0;
+      for (const auto& [loop, fold] : sp.hoisted_owner)
+        qb += fold.fold(iter[static_cast<size_t>(loop)]) * fold.stride;
+      sp.q_base = qb;
+      for (OwnerStep& os : sp.inner_owner) os.init(ilb);
+      long long walkers = 0;
+      for (RefPlan& rp : sp.reads)
+        if (rp.walk) {
+          rp.walker.init(iter);
+          ++walkers;
+        }
+      for (RefPlan& rp : sp.writes)
+        if (rp.walk) {
+          rp.walker.init(iter);
+          ++walkers;
+        }
+      ctr.walker_fast += walkers * len;
+      if (sp.inner_owner.empty()) ctr.owner_hoisted += len;
+      res.statements += len;
+      int q_cur = sp.q_base;
+      for (const OwnerStep& os : sp.inner_owner) q_cur += os.value();
+      if (q_cur >= P) q_cur = P - 1;
+      double t = clock[static_cast<size_t>(q_cur)];
+      int cluster = cluster_of[static_cast<size_t>(q_cur)];
+      for (Int i = ilb;; ++i) {
+        iter[static_cast<size_t>(inner)] = i;
+        int q = sp.q_base;
+        for (OwnerStep& os : sp.inner_owner) {
+          q += os.value();
+          os.step();  // advance for the next iteration (harmless past end)
+        }
+        if (q >= P) q = P - 1;
+        if (q != q_cur) {
+          clock[static_cast<size_t>(q_cur)] = t;
+          q_cur = q;
+          t = clock[static_cast<size_t>(q)];
+          cluster = cluster_of[static_cast<size_t>(q)];
+        }
+        t += sp.compute_cycles;
+        size_t vi = 0;
+        for (RefPlan& rp : sp.reads) {
+          Int lin;
+          if (rp.walk) {
+            lin = rp.walker.addr();
+            rp.walker.step();
+          } else {
+            lin = element_addr(*rp.ref, d, iter);
+          }
+          const Cell& c = rp.as->cells[static_cast<size_t>(lin)];
+          if (c.wproc >= 0 && c.wproc != q) {
+            const double wt = c.wtime;
+            if (wt > t) {
+              res.wait_cycles += wt - t;
+              t = wt + mcfg.lock_cycles;
+            }
+          }
+          Int byte = rp.base_addr + lin * rp.elem_size;
+          if (rp.replicated)
+            byte += static_cast<Int>(cluster) * rp.copy_bytes;
+          t += machine.access(q, byte, false) + rp.addr_overhead;
+          vals[vi++] = c.data;
+        }
+        for (RefPlan& rp : sp.writes) {
+          Int lin;
+          if (rp.walk) {
+            lin = rp.walker.addr();
+            rp.walker.step();
+          } else {
+            lin = element_addr(*rp.ref, d, iter);
+          }
+          Cell& c = rp.as->cells[static_cast<size_t>(lin)];
+          const Int byte = rp.base_addr + lin * rp.elem_size;
+          t += machine.access(q, byte, true) + rp.addr_overhead;
+          if (sp.has_eval)
+            c.data = sp.cs->eval(std::span<const double>(vals.data(), vi));
+          c.wproc = static_cast<std::int8_t>(q);
+          c.wtime = t;
+        }
+        if (i == iub) break;
+      }
+      clock[static_cast<size_t>(q_cur)] = t;
+      iter[static_cast<size_t>(inner)] = iub + 1;  // segment exhausted
+    };
+    const bool single_stmt =
+        np.stmts.size() == 1 && np.stmts[0].full_depth;
+
+    int level = 0;
+    iter[0] = lb[0] = cn.nest.loops[0].lower_bound(iter);
+    ub[0] = cn.nest.loops[0].upper_bound(iter);
+    while (level >= 0) {
+      if (iter[static_cast<size_t>(level)] > ub[static_cast<size_t>(level)]) {
+        --level;
+        if (level >= 0) ++iter[static_cast<size_t>(level)];
+        continue;
+      }
+      if (level == inner) {
+        if (single_stmt)
+          run_segment_single();
+        else
+          run_segment();
+      } else {
+        ++level;
+        iter[static_cast<size_t>(level)] = lb[static_cast<size_t>(level)] =
+            cn.nest.loops[static_cast<size_t>(level)].lower_bound(iter);
+        ub[static_cast<size_t>(level)] =
+            cn.nest.loops[static_cast<size_t>(level)].upper_bound(iter);
+      }
+    }
+  };
+
   for (int step = 0; step < prog.time_steps; ++step) {
     for (size_t j = 0; j < cp.nests.size(); ++j) {
-      run_nest(cp.nests[j]);
+      if (use_fast)
+        run_nest_fast(cp.nests[j], plans[j]);
+      else
+        run_nest_interp(cp.nests[j]);
       const bool last =
           step == prog.time_steps - 1 && j == cp.nests.size() - 1;
       if (P > 1 && (cp.nests[j].barrier_after || last)) {
@@ -251,6 +701,28 @@ RunResult simulate(const CompiledProgram& cp,
 
   res.cycles = *std::max_element(clock.begin(), clock.end());
   res.mem = machine.total_stats();
+  ctr.dir_fast = res.mem.dir_fast_hits;
+  res.counters = ctr;
+
+  {
+    support::RemarkEngine eng;
+    eng.begin_pass("simulate");
+    eng.count("sim_walker_fast_hits", static_cast<long>(ctr.walker_fast));
+    eng.count("sim_linearize_fallbacks",
+              static_cast<long>(ctr.linearize_fallback));
+    eng.count("sim_dir_fast_hits", static_cast<long>(ctr.dir_fast));
+    eng.count("sim_owner_hoisted", static_cast<long>(ctr.owner_hoisted));
+    eng.count("sim_statements", static_cast<long>(res.statements));
+    eng.end_pass();
+    res.trace = eng.take_trace();
+    if (support::trace_enabled())
+      support::emit_trace(res.trace.json(
+          {{"unit", prog.name},
+           {"kind", "simulate"},
+           {"mode", core::to_string(cp.mode)},
+           {"procs", strf("%d", cp.procs)},
+           {"engine", use_fast ? "fast" : "interp"}}));
+  }
 
   if (opts.collect_values) {
     res.values.resize(prog.arrays.size());
@@ -259,8 +731,8 @@ RunResult simulate(const CompiledProgram& cp,
       res.values[a].resize(static_cast<size_t>(decl.elem_count()));
       for_each_element(decl, [&](std::span<const Int> idx, Int linear) {
         res.values[a][static_cast<size_t>(linear)] =
-            state[a].data[static_cast<size_t>(
-                cp.arrays[a].layout.linearize(idx))];
+            state[a].cells[static_cast<size_t>(
+                cp.arrays[a].layout.linearize(idx))].data;
       });
     }
   }
@@ -286,23 +758,28 @@ std::vector<std::vector<double>> run_reference(const ir::Program& prog,
     return l;
   };
 
-  std::vector<double> vals(16);
+  size_t max_reads = 1;
+  for (const ir::LoopNest& nest : prog.nests)
+    for (const ir::Stmt& s : nest.stmts)
+      max_reads = std::max(max_reads, s.reads.size());
+  std::vector<double> vals(max_reads);
+
   for (int step = 0; step < prog.time_steps; ++step) {
     for (const ir::LoopNest& nest : prog.nests) {
       const int d = nest.depth();
-      // Track lower bounds for imperfect-nest statement gating.
-      std::vector<Int> lbs(static_cast<size_t>(d));
-      ir::for_each_iteration(nest, [&](std::span<const Int> iter) {
-        for (int k = 0; k < d; ++k) {
-          // Recompute lower bound at this prefix (cheap: bounds are tiny).
-          lbs[static_cast<size_t>(k)] =
-              nest.loops[static_cast<size_t>(k)].lower_bound(iter);
-        }
+      if (d == 0) continue;
+      // Explicit walk tracking the lower bound per level as it is entered:
+      // bounds above the innermost are loop-invariant per prefix, so they
+      // are computed once per level entry, not once per iteration (the
+      // same scheme as the simulator's nest walker).
+      std::vector<Int> iter(static_cast<size_t>(d)), lb(static_cast<size_t>(d)),
+          ub(static_cast<size_t>(d));
+      auto body = [&]() {
         for (const ir::Stmt& s : nest.stmts) {
           const int sd = s.effective_depth(d);
           bool first = true;
           for (int k = sd; k < d && first; ++k)
-            first = iter[static_cast<size_t>(k)] == lbs[static_cast<size_t>(k)];
+            first = iter[static_cast<size_t>(k)] == lb[static_cast<size_t>(k)];
           if (!first) continue;
           size_t vi = 0;
           for (const ir::ArrayRef& r : s.reads) {
@@ -318,7 +795,28 @@ std::vector<std::vector<double>> run_reference(const ir::Program& prog,
                 s.eval(std::span<const double>(vals.data(), vi));
           }
         }
-      });
+      };
+      int level = 0;
+      iter[0] = lb[0] = nest.loops[0].lower_bound(iter);
+      ub[0] = nest.loops[0].upper_bound(iter);
+      while (level >= 0) {
+        if (iter[static_cast<size_t>(level)] >
+            ub[static_cast<size_t>(level)]) {
+          --level;
+          if (level >= 0) ++iter[static_cast<size_t>(level)];
+          continue;
+        }
+        if (level == d - 1) {
+          body();
+          ++iter[static_cast<size_t>(level)];
+        } else {
+          ++level;
+          iter[static_cast<size_t>(level)] = lb[static_cast<size_t>(level)] =
+              nest.loops[static_cast<size_t>(level)].lower_bound(iter);
+          ub[static_cast<size_t>(level)] =
+              nest.loops[static_cast<size_t>(level)].upper_bound(iter);
+        }
+      }
     }
   }
   return data;

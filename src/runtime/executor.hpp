@@ -12,16 +12,42 @@
 // The engine also evaluates every statement numerically, so the same run
 // that measures performance verifies that the transformed program
 // computes bit-identical results to the sequential reference.
+//
+// Two engines produce bit-identical results (clocks, statistics, values):
+//
+//  * the FAST engine (default) compiles, per (nest, statement, reference),
+//    an incremental address walker (runtime/walker.hpp) before walking the
+//    iteration space — inner-loop addresses advance by constant adds with
+//    mod/div only at strip boundaries (the paper's Section 4.3 strength
+//    reduction applied to the simulator itself) — and hoists per-statement
+//    owner computation out of the innermost loop where it is invariant;
+//  * the INTERPRETER re-evaluates the affine subscripts and calls
+//    Layout::linearize on every access.
+//
+// References the walker cannot prove affine-incremental fall back to
+// linearize automatically. DCT_FAST_EXEC=0 (or ExecOptions::fast_exec = 0)
+// forces the interpreter and the full directory protocol in the machine.
 #pragma once
 
 #include <vector>
 
 #include "core/compiler.hpp"
 #include "machine/machine.hpp"
+#include "support/remark.hpp"
 
 namespace dct::runtime {
 
 using linalg::Int;
+
+/// Simulator-throughput counters of one run (how the engine produced its
+/// addresses and accesses, not what the simulated machine did).
+struct ExecCounters {
+  long long walker_fast = 0;         ///< addresses produced incrementally
+  long long linearize_fallback = 0;  ///< addresses via Layout::linearize
+  long long dir_fast = 0;            ///< machine accesses skipping the directory
+  long long owner_hoisted = 0;       ///< statement executions with the owner
+                                     ///< computed outside the inner loop
+};
 
 struct RunResult {
   double cycles = 0;  ///< parallel completion time (max processor clock)
@@ -30,6 +56,10 @@ struct RunResult {
   double barrier_cycles = 0;
   double wait_cycles = 0;  ///< cross-processor dataflow stalls
   long long statements = 0;
+  ExecCounters counters;
+  /// One-pass "simulate" trace record carrying the sim_* counters;
+  /// core::run_sweep merges it into the sweep's pipeline trace.
+  support::PipelineTrace trace;
   /// Final contents of every array, indexed by the ORIGINAL element order
   /// (layout-independent, for bit-exact comparison across modes).
   std::vector<std::vector<double>> values;
@@ -38,6 +68,9 @@ struct RunResult {
 struct ExecOptions {
   bool collect_values = true;  ///< fill RunResult::values
   std::uint64_t init_seed = 42;
+  /// Engine selection: 1 = fast (walkers + machine fast path), 0 =
+  /// interpreter, -1 = read the DCT_FAST_EXEC env var (default on).
+  int fast_exec = -1;
 };
 
 /// Simulate the compiled program on the machine. `mcfg.procs` must match

@@ -1,0 +1,74 @@
+#include "runtime/walker.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace dct::runtime {
+
+using linalg::floor_div;
+using linalg::floor_mod;
+
+bool RefWalker::build(const core::CompiledRef& ref,
+                      const layout::Layout& layout, int depth) {
+  if (!layout.all_simple()) return false;
+  ref_ = &ref;
+  depth_ = depth;
+  subs_.assign(static_cast<size_t>(ref.rank), 0);
+  dims_.clear();
+  active_.clear();
+  inner_delta_ = 0;
+  addr_ = 0;
+
+  const std::vector<layout::Layout::DimFn>& fns = layout.dim_functions();
+  const std::vector<Int> strides = layout.strides();
+  for (size_t k = 0; k < fns.size(); ++k) {
+    const layout::Layout::DimFn& f = fns[k];
+    if (f.src < 0 || f.src >= ref.rank) return false;
+    InitDim d;
+    d.src = f.src;
+    d.div = f.div;
+    d.mod = f.mod;
+    d.stride = strides[k];
+    const Int c =
+        depth > 0 ? ref.coeffs[static_cast<size_t>(f.src) *
+                                   static_cast<size_t>(depth) +
+                               static_cast<size_t>(depth - 1)]
+                  : 0;
+    if (c != 0) {
+      if (f.div == 1 && f.mod == 0) {
+        // Untransformed dimension: its contribution changes by a constant
+        // every step — fold it into one add.
+        inner_delta_ += c * d.stride;
+      } else {
+        d.active = static_cast<int>(active_.size());
+        active_.push_back(DimState{f.div, f.mod, d.stride, c, 0, 0});
+      }
+    }
+    dims_.push_back(d);
+  }
+  return true;
+}
+
+void RefWalker::init(std::span<const Int> iter) {
+  const core::CompiledRef& ref = *ref_;
+  for (int r = 0; r < ref.rank; ++r) {
+    Int v = ref.offsets[static_cast<size_t>(r)];
+    const Int* row = ref.coeffs.data() +
+                     static_cast<size_t>(r) * static_cast<size_t>(depth_);
+    for (int k = 0; k < depth_; ++k) v += row[k] * iter[static_cast<size_t>(k)];
+    subs_[static_cast<size_t>(r)] = v;
+  }
+  addr_ = 0;
+  for (const InitDim& d : dims_) {
+    const Int s = subs_[static_cast<size_t>(d.src)];
+    const Int q = floor_div(s, d.div);
+    const Int v = d.mod != 0 ? floor_mod(q, d.mod) : q;
+    addr_ += v * d.stride;
+    if (d.active >= 0) {
+      DimState& st = active_[static_cast<size_t>(d.active)];
+      st.rem = s - q * d.div;
+      st.v = v;
+    }
+  }
+}
+
+}  // namespace dct::runtime

@@ -117,6 +117,59 @@ TEST(Executor, DegenerateSizes) {
   }
 }
 
+TEST(Executor, BuffersSizedFromProgramNotFixedCaps) {
+  // Regression: the executor's subscript and operand scratch buffers are
+  // sized from the program (deepest array rank, widest read list), not
+  // from fixed capacities. A rank-9 array and a 17-operand statement
+  // overflow the old scratch(8)/vals(16) buffers.
+  ir::ProgramBuilder pb("wide");
+  const int a = pb.array("A", {2, 2, 2, 2, 2, 2, 2, 2, 2}, 8);
+  const int b = pb.array("B", {32}, 8);
+  ir::LoopNest& nest = pb.nest("wide", 1);
+  nest.loops.push_back(ir::loop("I", ir::cst(0), ir::cst(1)));
+
+  ir::Stmt deep;  // rank-9 write A[I,1,0,1,0,1,0,1,0] = A[I,...] * 2
+  std::vector<std::pair<int, linalg::Int>> dims9 = {
+      {0, 0}, {-1, 1}, {-1, 0}, {-1, 1}, {-1, 0},
+      {-1, 1}, {-1, 0}, {-1, 1}, {-1, 0}};
+  deep.write = ir::simple_ref(a, 1, dims9);
+  deep.reads = {ir::simple_ref(a, 1, dims9)};
+  deep.eval = [](std::span<const double> r) { return r[0] * 2.0; };
+  nest.stmts.push_back(std::move(deep));
+
+  ir::Stmt wide;  // 17 reads of B feeding one write
+  wide.write = ir::simple_ref(b, 1, {{0, 0}});
+  for (int k = 0; k < 17; ++k)
+    wide.reads.push_back(ir::simple_ref(b, 1, {{0, static_cast<Int>(k % 3)}}));
+  wide.eval = [](std::span<const double> r) {
+    double s = 0;
+    for (double v : r) s += v;
+    return s;
+  };
+  nest.stmts.push_back(std::move(wide));
+  const ir::Program prog = pb.build();
+
+  const auto reference = run_reference(prog);
+  for (const Mode mode : {Mode::Base, Mode::Full}) {
+    const auto cp = core::compile(prog, mode, 2);
+    const auto r = simulate(cp, machine::MachineConfig::dash(2));
+    EXPECT_EQ(r.values, reference) << core::to_string(mode);
+  }
+}
+
+TEST(Executor, RejectsProcessorCountsBeyondInt8Writers) {
+  // The dataflow state records the last writer in an int8; simulate must
+  // refuse processor counts that cannot be represented rather than wrap.
+  const ir::Program prog = apps::figure1(16, 1);
+  const auto cp = core::compile(prog, Mode::Base, 200);
+  try {
+    simulate(cp, machine::MachineConfig::dash(200));
+    FAIL() << "expected rejection of 200 processors";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("127"), std::string::npos);
+  }
+}
+
 TEST(Executor, AddressStrategyChangesTimeNotValues) {
   const ir::Program prog = apps::lu(24);
   const auto naive = simulate(
