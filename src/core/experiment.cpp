@@ -1,19 +1,70 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "support/diagnostics.hpp"
+#include "support/env.hpp"
 #include "support/parallel.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "verify/oracle.hpp"
 
 namespace dct::core {
+
+namespace {
+
+/// The graceful-degradation chain: Full -> CompDecomp -> Base.
+std::optional<Mode> lower_mode(Mode m) {
+  switch (m) {
+    case Mode::Full: return Mode::CompDecomp;
+    case Mode::CompDecomp: return Mode::Base;
+    case Mode::Base: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool retryable(Error::Code code) {
+  switch (code) {
+    case Error::Code::kUnsupportedConfig:
+    case Error::Code::kOracleViolation:  // deterministic: retry can't help
+    case Error::Code::kCancelled:
+    case Error::Code::kDeadlineExceeded:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::string CellFailure::to_string() const {
+  std::string disposition = skipped     ? "skipped"
+                            : degraded  ? "degraded -> " +
+                                              core::to_string(served_mode)
+                                        : "failed";
+  return strf("%s P=%d [%s] %s (%s, %d attempt%s)%s",
+              core::to_string(mode).c_str(), procs, dct::to_string(code),
+              disposition.c_str(), stage.empty() ? "-" : stage.c_str(),
+              attempts, attempts == 1 ? "" : "s",
+              what.empty() ? "" : (": " + what).c_str());
+}
 
 SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
   SweepResult out;
   out.procs = opts.procs;
   out.modes = opts.modes;
+
+  // Sweep-wide cooperative deadline: the executor polls this token at
+  // segment granularity, and the thread pool stops dispatching new cells
+  // once it trips.
+  double dl_ms = opts.deadline_ms;
+  if (dl_ms < 0)
+    dl_ms = static_cast<double>(env_int("DCT_DEADLINE_MS", 0));
+  support::CancelToken cancel;
+  if (dl_ms > 0) cancel = support::CancelToken::with_deadline_ms(dl_ms);
 
   // Every sweep point — the sequential baseline, the per-mode verification
   // runs and the (mode, P) grid — is an independent compile + simulation,
@@ -36,36 +87,165 @@ SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
   const std::vector<std::vector<double>> reference =
       opts.verify ? runtime::run_reference(prog)
                   : std::vector<std::vector<double>>{};
+  const bool validate = verify::validate_enabled();
 
-  std::vector<runtime::RunResult> results(tasks.size());
-  std::vector<support::PipelineTrace> traces(tasks.size());
-  support::parallel_for(
-      static_cast<int>(tasks.size()), opts.threads, [&](int i) {
-        const Task& t = tasks[static_cast<size_t>(i)];
-        CompiledProgram cp = compile(prog, t.mode, t.procs, opts.strategy);
-        traces[static_cast<size_t>(i)] = std::move(cp.trace);
-        runtime::ExecOptions eopts;
-        eopts.collect_values = t.verify;
-        results[static_cast<size_t>(i)] = runtime::simulate(
-            cp, machine::MachineConfig::dash(t.procs), eopts);
-        traces[static_cast<size_t>(i)].merge(
-            results[static_cast<size_t>(i)].trace);
-        if (t.verify)
-          DCT_CHECK(results[static_cast<size_t>(i)].values == reference,
-                    prog.name + ": transformed program changed results");
-      });
+  // Crash boundary around one cell: any failure of any attempt becomes a
+  // CellFailure record; the sweep itself always completes.
+  struct CellOutcome {
+    runtime::RunResult result;
+    support::PipelineTrace trace;
+    bool ok = false;
+    bool has_failure = false;
+    CellFailure fail;
+  };
+  std::vector<CellOutcome> cells(tasks.size());
 
-  for (const support::PipelineTrace& t : traces) out.trace.merge(t);
+  // One attempt of one cell under `mode` (which may sit below the task's
+  // requested mode when degrading). Throws on any failure.
+  auto attempt = [&](const Task& t, Mode mode)
+      -> std::pair<runtime::RunResult, support::PipelineTrace> {
+    if (opts.fault_hook) opts.fault_hook(mode, t.procs);
+    CompiledProgram cp = compile(prog, mode, t.procs, opts.strategy);
+    support::PipelineTrace trace = std::move(cp.trace);
+    runtime::ExecOptions eopts;
+    eopts.collect_values = t.verify;
+    eopts.cancel = cancel;
+    runtime::RunResult rr =
+        runtime::simulate(cp, machine::MachineConfig::dash(t.procs), eopts);
+    trace.merge(rr.trace);
+    if (t.verify) {
+      if (rr.values != reference)
+        throw Error(Error::Code::kOracleViolation,
+                    prog.name + ": transformed program changed results")
+            .with_context("verify cell");
+      if (validate) {
+        // DCT_VALIDATE=1: the verify cells additionally cross-check the
+        // two executor engines against each other and the reference.
+        const verify::OracleReport rep = verify::check_differential(
+            cp, machine::MachineConfig::dash(t.procs));
+        if (!rep.ok())
+          throw Error(Error::Code::kOracleViolation, rep.to_string())
+              .with_context("differential oracle");
+      }
+    }
+    return {std::move(rr), std::move(trace)};
+  };
 
-  out.seq_cycles = results[0].cycles;
+  auto run_cell = [&](int idx) {
+    const Task& t = tasks[static_cast<size_t>(idx)];
+    CellOutcome& cell = cells[static_cast<size_t>(idx)];
+    Mode mode = t.mode;
+    while (true) {
+      std::optional<Error> last;
+      const int tries = 1 + std::max(0, opts.retries);
+      for (int a = 0; a < tries && !cell.ok; ++a) {
+        ++cell.fail.attempts;
+        try {
+          auto [rr, trace] = attempt(t, mode);
+          cell.result = std::move(rr);
+          cell.trace = std::move(trace);
+          cell.ok = true;
+        } catch (const Error& e) {
+          last = e;
+        } catch (const std::exception& e) {
+          last = Error(Error::Code::kFault, e.what());
+        }
+        if (last && !retryable(last->code())) break;
+      }
+      if (cell.ok) {
+        if (mode != t.mode) {
+          // A fallback result is served: keep the original failure record
+          // but mark it degraded, and leave a remark in the trace.
+          cell.fail.degraded = true;
+          cell.fail.served_mode = mode;
+          support::RemarkEngine eng;
+          eng.begin_pass("degraded");
+          eng.note(strf("%s: %s degraded to %s at P=%d (%s)",
+                        prog.name.c_str(), to_string(t.mode).c_str(),
+                        to_string(mode).c_str(), t.procs,
+                        cell.fail.what.c_str()));
+          eng.count("cells_degraded");
+          eng.end_pass();
+          cell.trace.merge(eng.take_trace());
+        }
+        return;
+      }
+      // All attempts at `mode` failed; record and decide the disposition.
+      cell.has_failure = true;
+      cell.fail.mode = t.mode;
+      cell.fail.procs = t.procs;
+      cell.fail.code = last->code();
+      cell.fail.stage = join(last->context(), "; ");
+      cell.fail.what = last->what();
+      cell.fail.repro = strf("%s mode=%s procs=%d%s", prog.name.c_str(),
+                             to_string(t.mode).c_str(), t.procs,
+                             t.verify ? " (verify cell)" : "");
+      if (last->code() == Error::Code::kUnsupportedConfig) {
+        cell.fail.skipped = true;  // not a fault: config out of contract
+        return;
+      }
+      if (last->code() == Error::Code::kCancelled ||
+          last->code() == Error::Code::kDeadlineExceeded)
+        return;  // the whole sweep is out of budget; don't degrade
+      const std::optional<Mode> down = lower_mode(mode);
+      if (!down) return;
+      mode = *down;  // graceful degradation: try the next mode down
+    }
+  };
+
+  const support::ParallelOutcome po = support::parallel_for_collect(
+      static_cast<int>(tasks.size()), opts.threads, run_cell, cancel);
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    CellOutcome& cell = cells[i];
+    if (!po.started[i]) {
+      // The deadline tripped before this cell was dispatched.
+      cell.has_failure = true;
+      cell.fail.mode = tasks[i].mode;
+      cell.fail.procs = tasks[i].procs;
+      cell.fail.code = cancel.valid() && cancel.expired()
+                           ? cancel.reason()
+                           : Error::Code::kCancelled;
+      cell.fail.what = "sweep budget exhausted before the cell started";
+      cell.fail.repro = strf("%s mode=%s procs=%d", prog.name.c_str(),
+                             to_string(tasks[i].mode).c_str(),
+                             tasks[i].procs);
+    } else if (po.errors[i]) {
+      // run_cell has its own crash boundary, so this is unreachable in
+      // practice — but a record beats losing the error.
+      try {
+        std::rethrow_exception(po.errors[i]);
+      } catch (const std::exception& e) {
+        cell.has_failure = true;
+        cell.ok = false;
+        cell.fail.mode = tasks[i].mode;
+        cell.fail.procs = tasks[i].procs;
+        cell.fail.code = Error::Code::kFault;
+        cell.fail.what = e.what();
+      }
+    }
+  }
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    out.trace.merge(cells[i].trace);
+    if (cells[i].has_failure) out.failures.push_back(cells[i].fail);
+  }
+
+  out.seq_cycles = cells[0].ok ? cells[0].result.cycles : 0;
   size_t i = grid_base;
   for (size_t m = 0; m < opts.modes.size(); ++m) {
     std::vector<double> series;
-    for (size_t p = 0; p < opts.procs.size(); ++p, ++i)
-      series.push_back(out.seq_cycles / results[i].cycles);
+    for (size_t p = 0; p < opts.procs.size(); ++p, ++i) {
+      const CellOutcome& cell = cells[i];
+      series.push_back(cell.ok && cell.result.cycles > 0 &&
+                               out.seq_cycles > 0
+                           ? out.seq_cycles / cell.result.cycles
+                           : 0.0);
+    }
     out.speedups.push_back(std::move(series));
     runtime::RunResult last;
-    if (!opts.procs.empty()) last = std::move(results[i - 1]);
+    if (!opts.procs.empty() && cells[i - 1].ok)
+      last = std::move(cells[i - 1].result);
     out.mem_at_max.push_back(last.mem);
     out.raw_at_max.push_back(std::move(last));
   }
@@ -74,8 +254,30 @@ SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
     support::emit_trace(out.trace.json(
         {{"unit", prog.name},
          {"kind", "sweep"},
-         {"points", strf("%d", static_cast<int>(tasks.size()))}}));
+         {"points", strf("%d", static_cast<int>(tasks.size()))},
+         {"failures", strf("%d", static_cast<int>(out.failures.size()))}}));
   return out;
+}
+
+std::string render_failures(const std::vector<CellFailure>& failures) {
+  std::ostringstream os;
+  os << "cell failures:\n";
+  Table t({"mode", "procs", "code", "stage", "attempts", "disposition",
+           "error"});
+  for (const CellFailure& f : failures) {
+    std::string disposition = f.skipped    ? "skipped"
+                              : f.degraded ? "degraded -> " +
+                                                 to_string(f.served_mode)
+                                           : "failed";
+    std::string what = f.what;
+    if (what.size() > 60) what = what.substr(0, 57) + "...";
+    t.add_row({to_string(f.mode), strf("%d", f.procs),
+               dct::to_string(f.code), f.stage.empty() ? "-" : f.stage,
+               strf("%d", f.attempts), std::move(disposition),
+               std::move(what)});
+  }
+  os << t.to_string();
+  return os.str();
 }
 
 std::string render_sweep(const std::string& title, const SweepResult& r) {
@@ -91,7 +293,8 @@ std::string render_sweep(const std::string& title, const SweepResult& r) {
   for (size_t i = 0; i < r.procs.size(); ++i) {
     std::vector<std::string> row = {strf("%d", r.procs[i])};
     for (size_t m = 0; m < r.modes.size(); ++m)
-      row.push_back(strf("%.2f", r.speedups[m][i]));
+      row.push_back(r.speedups[m][i] > 0 ? strf("%.2f", r.speedups[m][i])
+                                         : "-");
     t.add_row(std::move(row));
   }
   os << t.to_string();
@@ -100,6 +303,7 @@ std::string render_sweep(const std::string& title, const SweepResult& r) {
   for (size_t m = 0; m < r.modes.size(); ++m)
     os << "  " << to_string(r.modes[m]) << ": "
        << r.mem_at_max[m].to_string() << "\n";
+  if (!r.failures.empty()) os << render_failures(r.failures);
   return os.str();
 }
 

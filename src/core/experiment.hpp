@@ -2,14 +2,25 @@
 // under the three compiler configurations of the paper's evaluation
 // across a processor sweep and renders paper-style speedup figures and
 // summary tables.
+//
+// The sweep is fault-isolated: every (mode, P) cell runs inside a crash
+// boundary with a configurable retry budget and a cooperative wall-clock
+// deadline (DCT_DEADLINE_MS). A cell that keeps failing becomes a
+// structured CellFailure record — it never takes the sweep down — and the
+// optimized modes degrade down the mode chain (Full -> CompDecomp ->
+// Base) before giving up, recording a `degraded` remark when a fallback
+// result is served.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/compiler.hpp"
 #include "machine/machine.hpp"
 #include "runtime/executor.hpp"
+#include "support/cancel.hpp"
+#include "support/diagnostics.hpp"
 
 namespace dct::core {
 
@@ -22,27 +33,68 @@ struct SweepOptions {
   /// (hardware_concurrency, or the DCT_THREADS env), 1 = serial. Results
   /// are byte-identical regardless of the thread count.
   int threads = 0;
+  /// Extra attempts per cell after a transient failure (unsupported
+  /// configs, oracle violations and deadline trips are never retried).
+  int retries = 0;
+  /// Wall-clock budget for the whole sweep in milliseconds. < 0 reads the
+  /// DCT_DEADLINE_MS environment variable; 0 disables the deadline. On
+  /// expiry, running simulations stop at their next cancellation poll and
+  /// cells not yet started are recorded as cancelled.
+  double deadline_ms = -1;
+  /// Test seam: called at the start of every cell attempt (before the
+  /// compile). A throw is handled exactly like a pass or simulator fault
+  /// — fault-injection tests use this to exercise the crash boundary.
+  std::function<void(Mode, int)> fault_hook;
+};
+
+/// Structured record of one sweep cell that did not complete normally.
+struct CellFailure {
+  Mode mode = Mode::Base;  ///< requested mode of the cell
+  int procs = 0;
+  Error::Code code = Error::Code::kGeneric;
+  std::string stage;  ///< context chain of the error, innermost first
+  std::string what;   ///< message of the (last) failure
+  int attempts = 0;   ///< total attempts across the degradation chain
+  bool skipped = false;   ///< unsupported configuration, not a fault
+  bool degraded = false;  ///< a lower mode's result was served instead
+  Mode served_mode = Mode::Base;  ///< meaningful when degraded
+  std::string repro;  ///< how to reproduce, e.g. "lu mode=full procs=8"
+
+  std::string to_string() const;
 };
 
 struct SweepResult {
   std::vector<int> procs;
   double seq_cycles = 0;  ///< best sequential version (BASE on 1 processor)
-  /// speedups[m][p] for mode m over the processor sweep.
+  /// speedups[m][p] for mode m over the processor sweep. A cell that
+  /// failed (and could not degrade) holds 0 and is rendered as "-".
   std::vector<std::vector<double>> speedups;
   std::vector<Mode> modes;
   /// Memory statistics of the largest-P run per mode.
   std::vector<machine::ProcStats> mem_at_max;
   std::vector<runtime::RunResult> raw_at_max;
   /// Pipeline traces of every compilation in the sweep, aggregated
-  /// (per-pass wall time, runs and decision counters summed).
+  /// (per-pass wall time, runs and decision counters summed). Served
+  /// fallback results contribute a `degraded` pass record.
   support::PipelineTrace trace;
+  /// Every cell that faulted, was skipped, degraded or got cancelled.
+  std::vector<CellFailure> failures;
+
+  /// True when every cell produced its own result (skipped and degraded
+  /// cells count as failures here — callers that tolerate them should
+  /// inspect `failures` directly).
+  bool all_cells_ok() const { return failures.empty(); }
 };
 
 /// Run the full sweep. The paper's speedups are "calculated over the best
 /// sequential version": we use the BASE compilation on one processor.
 /// Every (mode, P) point is an independent compile+simulate, so they run
 /// on a thread pool (opts.threads) with deterministic result ordering.
+/// The sweep always returns: cell faults land in SweepResult::failures.
 SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts = {});
+
+/// The failure table render_sweep appends when a sweep had failures.
+std::string render_failures(const std::vector<CellFailure>& failures);
 
 /// Render the sweep as a paper-style figure (ASCII chart) plus the exact
 /// numbers in a table.

@@ -6,6 +6,7 @@
 #include "dep/dependence.hpp"
 #include "support/diagnostics.hpp"
 #include "support/str.hpp"
+#include "verify/oracle.hpp"
 
 namespace dct::core {
 
@@ -27,7 +28,18 @@ std::vector<std::string> PassManager::pass_names() const {
 void PassManager::run(CompilationState& st, support::RemarkEngine& eng) const {
   for (const auto& p : passes_) {
     eng.begin_pass(p->name());
-    p->run(st, eng);
+    // Attribute any failure to the pass that raised it: fault isolation
+    // upstream (core::run_sweep) records the failing pass per cell.
+    try {
+      p->run(st, eng);
+    } catch (Error& e) {
+      eng.end_pass();
+      throw e.with_context("pass " + p->name());
+    } catch (const std::exception& e) {
+      eng.end_pass();
+      throw Error(Error::Code::kFault, e.what())
+          .with_context("pass " + p->name());
+    }
     eng.end_pass();
   }
 }
@@ -323,6 +335,25 @@ class AddrStrategyPass final : public Pass {
   }
 };
 
+// ---------------------------------------------------------------------------
+// verify — static validation oracles (src/verify/), DCT_VALIDATE=1
+// ---------------------------------------------------------------------------
+
+class VerifyPass final : public Pass {
+ public:
+  std::string name() const override { return "verify"; }
+  void run(CompilationState& st, support::RemarkSink& rs) override {
+    const verify::ValidationReport rep = verify::validate_compiled(st.cp);
+    rs.count("oracle_checks", rep.total_checks());
+    for (const verify::OracleReport& o : rep.oracles) {
+      rs.count(("checks_" + o.oracle).c_str(), o.checks);
+      if (!o.ok()) rs.note(o.to_string());
+    }
+    rep.raise_if_violated(st.cp.program.name + " [" + to_string(st.cp.mode) +
+                          "]");
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Pass> make_parallelize_pass() {
@@ -346,6 +377,9 @@ std::unique_ptr<Pass> make_lower_pass(bool base_block_owner) {
 std::unique_ptr<Pass> make_addr_strategy_pass() {
   return std::make_unique<AddrStrategyPass>();
 }
+std::unique_ptr<Pass> make_verify_pass() {
+  return std::make_unique<VerifyPass>();
+}
 
 PassManager build_pipeline(Mode mode) {
   PassManager pm;
@@ -358,6 +392,7 @@ PassManager build_pipeline(Mode mode) {
   pm.add(make_layout_pass(mode == Mode::Full));
   pm.add(make_lower_pass(mode == Mode::Base));
   pm.add(make_addr_strategy_pass());
+  if (verify::validate_enabled()) pm.add(make_verify_pass());
   return pm;
 }
 
@@ -366,6 +401,7 @@ PassManager build_lowering_pipeline(Mode mode) {
   pm.add(make_layout_pass(mode == Mode::Full));
   pm.add(make_lower_pass(mode == Mode::Base));
   pm.add(make_addr_strategy_pass());
+  if (verify::validate_enabled()) pm.add(make_verify_pass());
   return pm;
 }
 

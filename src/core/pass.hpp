@@ -56,6 +56,8 @@ class PassManager {
 ///   CompDecomp: parallelize, decompose, fold-select, barrier-elim,
 ///               layout(keep), lower, addr-strategy
 ///   Full:       as CompDecomp with layout(restructure)
+/// With DCT_VALIDATE=1 every pipeline additionally ends in the `verify`
+/// pass (the static oracles of src/verify/oracle.hpp).
 PassManager build_pipeline(Mode mode);
 
 /// The lowering tail used when the decomposition is supplied by the caller
@@ -74,5 +76,9 @@ std::unique_ptr<Pass> make_layout_pass(bool restructure);
 /// partition-derived folds.
 std::unique_ptr<Pass> make_lower_pass(bool base_block_owner);
 std::unique_ptr<Pass> make_addr_strategy_pass();
+/// Runs the static validation oracles (src/verify/) over the compiled
+/// program and throws Error(kOracleViolation) on any violation.
+/// build_pipeline appends it automatically when DCT_VALIDATE=1.
+std::unique_ptr<Pass> make_verify_pass();
 
 }  // namespace dct::core

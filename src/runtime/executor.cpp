@@ -171,9 +171,12 @@ RunResult simulate(const CompiledProgram& cp,
                    const machine::MachineConfig& mcfg,
                    const ExecOptions& opts) {
   DCT_CHECK(mcfg.procs == cp.procs, "machine/compile processor mismatch");
-  // The writer-id field of the dataflow state is an int8.
-  DCT_CHECK(cp.procs <= 127, "simulate supports at most 127 processors "
-                             "(int8 writer ids)");
+  // The writer-id field of the dataflow state is an int8. A structured
+  // code lets the sweep record the cell as skipped instead of failed.
+  if (cp.procs > 127)
+    throw Error(Error::Code::kUnsupportedConfig,
+                "simulate supports at most 127 processors (int8 writer "
+                "ids); got " + std::to_string(cp.procs));
   const bool use_fast =
       (opts.fast_exec >= 0 ? opts.fast_exec
                            : env_int("DCT_FAST_EXEC", 1)) != 0;
@@ -254,6 +257,12 @@ RunResult simulate(const CompiledProgram& cp,
   res.proc_cycles.assign(static_cast<size_t>(P), 0.0);
   std::vector<double>& clock = res.proc_cycles;
   ExecCounters ctr;
+
+  // Cooperative cancellation: polled once per innermost segment (fast
+  // engine) / every 4096 statement batches (interpreter). An inert token
+  // reduces the whole mechanism to one always-false branch per segment.
+  const bool poll_cancel = opts.cancel.valid();
+  long long poll_ctr = 0;
 
   // Scratch buffers sized from the program, not fixed capacities: the
   // deepest array rank and the widest statement read list actually present.
@@ -357,6 +366,8 @@ RunResult simulate(const CompiledProgram& cp,
         continue;
       }
       if (level == d - 1) {
+        if (poll_cancel && ((++poll_ctr & 4095) == 0))
+          opts.cancel.check("simulate (interpreter)");
         body();
         ++iter[static_cast<size_t>(level)];
       } else {
@@ -668,6 +679,7 @@ RunResult simulate(const CompiledProgram& cp,
         continue;
       }
       if (level == inner) {
+        if (poll_cancel) opts.cancel.check("simulate (fast engine)");
         if (single_stmt)
           run_segment_single();
         else
@@ -684,6 +696,7 @@ RunResult simulate(const CompiledProgram& cp,
 
   for (int step = 0; step < prog.time_steps; ++step) {
     for (size_t j = 0; j < cp.nests.size(); ++j) {
+      if (poll_cancel) opts.cancel.check("simulate");
       if (use_fast)
         run_nest_fast(cp.nests[j], plans[j]);
       else

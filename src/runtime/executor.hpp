@@ -33,6 +33,7 @@
 
 #include "core/compiler.hpp"
 #include "machine/machine.hpp"
+#include "support/cancel.hpp"
 #include "support/remark.hpp"
 
 namespace dct::runtime {
@@ -71,10 +72,15 @@ struct ExecOptions {
   /// Engine selection: 1 = fast (walkers + machine fast path), 0 =
   /// interpreter, -1 = read the DCT_FAST_EXEC env var (default on).
   int fast_exec = -1;
+  /// Cooperative cancellation: the engines poll this token at segment
+  /// granularity and throw Error(kCancelled / kDeadlineExceeded) when it
+  /// expires. A default (inert) token costs one branch per segment.
+  support::CancelToken cancel;
 };
 
 /// Simulate the compiled program on the machine. `mcfg.procs` must match
-/// the compiled processor count.
+/// the compiled processor count. Throws Error(kUnsupportedConfig) for
+/// processor counts beyond the int8 writer-id dataflow state (> 127).
 RunResult simulate(const core::CompiledProgram& cp,
                    const machine::MachineConfig& mcfg,
                    const ExecOptions& opts = {});

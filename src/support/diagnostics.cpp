@@ -2,7 +2,29 @@
 
 #include <sstream>
 
-namespace dct::detail {
+namespace dct {
+
+std::string Error::full_message() const {
+  std::ostringstream os;
+  os << what();
+  for (const std::string& frame : context_) os << " [" << frame << "]";
+  return os.str();
+}
+
+const char* to_string(Error::Code code) {
+  switch (code) {
+    case Error::Code::kGeneric: return "generic";
+    case Error::Code::kInvalidArgument: return "invalid-argument";
+    case Error::Code::kUnsupportedConfig: return "unsupported-config";
+    case Error::Code::kOracleViolation: return "oracle-violation";
+    case Error::Code::kCancelled: return "cancelled";
+    case Error::Code::kDeadlineExceeded: return "deadline-exceeded";
+    case Error::Code::kFault: return "fault";
+  }
+  return "?";
+}
+
+namespace detail {
 
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& msg) {
@@ -12,4 +34,5 @@ void check_failed(const char* expr, const char* file, int line,
   throw Error(os.str());
 }
 
-}  // namespace dct::detail
+}  // namespace detail
+}  // namespace dct

@@ -3,18 +3,63 @@
 // DCT_CHECK is used to validate internal invariants and user-supplied
 // arguments alike; it throws dct::Error (never aborts) so library users can
 // recover and tests can assert on failures.
+//
+// Errors carry a machine-readable code plus an optional context chain:
+// each layer a failure propagates through (a compiler pass, a sweep cell,
+// a fuzzer stage) appends one frame via with_context(), so the experiment
+// harness can attribute a failure to the stage that raised it without
+// parsing the message.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace dct {
 
 /// Exception type thrown on any precondition or invariant violation.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  /// Failure taxonomy used by the sweep's structured CellFailure records.
+  enum class Code {
+    kGeneric,            ///< uncategorized invariant/precondition violation
+    kInvalidArgument,    ///< caller-supplied argument out of contract
+    kUnsupportedConfig,  ///< valid request the implementation cannot serve
+                         ///< (recorded as a skipped cell, not a failure)
+    kOracleViolation,    ///< a validation oracle found wrong results
+    kCancelled,          ///< cooperative cancellation tripped
+    kDeadlineExceeded,   ///< DCT_DEADLINE_MS budget exhausted
+    kFault,              ///< foreign exception caught at a crash boundary
+  };
+
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), code_(Code::kGeneric) {}
+  Error(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  Code code() const { return code_; }
+
+  /// Context frames, innermost first (the order with_context was called in
+  /// as the error travelled up).
+  const std::vector<std::string>& context() const { return context_; }
+
+  /// Append one context frame; returns *this so a catch site can
+  /// `throw e.with_context("pass layout")`.
+  Error& with_context(std::string frame) {
+    context_.push_back(std::move(frame));
+    return *this;
+  }
+
+  /// what() plus the context chain, for human-facing reports.
+  std::string full_message() const;
+
+ private:
+  Code code_;
+  std::vector<std::string> context_;
 };
+
+/// Short stable name of a code, e.g. "unsupported-config".
+const char* to_string(Error::Code code);
 
 namespace detail {
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,

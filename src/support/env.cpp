@@ -13,6 +13,12 @@ long env_int(const char* name, long def) {
   return parsed;
 }
 
+std::string env_str(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return v;
+}
+
 long repro_scale() { return env_int("REPRO_SCALE", 1); }
 
 }  // namespace dct

@@ -9,6 +9,10 @@ namespace dct {
 /// or unparsable.
 long env_int(const char* name, long def);
 
+/// Read a string environment variable, falling back to `def` when unset
+/// or empty.
+std::string env_str(const char* name, const std::string& def);
+
 /// Global workload scale factor (env REPRO_SCALE, default 1). Benches
 /// multiply their default problem sizes by this to approach the paper's
 /// original dataset sizes (REPRO_SCALE=4 reproduces most of them exactly).

@@ -1,0 +1,509 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+
+#include "dep/dependence.hpp"
+#include "runtime/executor.hpp"
+#include "support/diagnostics.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace dct::verify {
+
+using decomp::DistKind;
+using linalg::floor_div;
+using linalg::floor_mod;
+
+namespace {
+
+constexpr size_t kMaxViolations = 16;
+
+void add_violation(OracleReport& rep, std::string msg) {
+  if (rep.violations.size() < kMaxViolations)
+    rep.violations.push_back(std::move(msg));
+  else if (rep.violations.size() == kMaxViolations)
+    rep.violations.push_back("... further violations suppressed");
+}
+
+/// One random iteration of `nest`, bounds resolved outermost-in; nullopt
+/// when a sampled prefix leads to an empty inner range.
+std::optional<std::vector<Int>> sample_iteration(const ir::LoopNest& nest,
+                                                 Rng& rng) {
+  const int d = nest.depth();
+  std::vector<Int> iter(static_cast<size_t>(d), 0);
+  for (int l = 0; l < d; ++l) {
+    const Int lb = nest.loops[static_cast<size_t>(l)].lower_bound(iter);
+    const Int ub = nest.loops[static_cast<size_t>(l)].upper_bound(iter);
+    if (ub < lb) return std::nullopt;
+    iter[static_cast<size_t>(l)] = rng.uniform(lb, ub);
+  }
+  return iter;
+}
+
+/// Walk every original index vector of `decl` in linear order.
+template <typename Fn>
+void for_each_index(const ir::ArrayDecl& decl, Fn&& fn) {
+  const int rank = static_cast<int>(decl.dims.size());
+  std::vector<Int> idx(static_cast<size_t>(rank), 0);
+  bool done = decl.elem_count() == 0;
+  while (!done) {
+    fn(std::span<const Int>(idx));
+    int k = 0;
+    while (k < rank) {
+      if (++idx[static_cast<size_t>(k)] < decl.dims[static_cast<size_t>(k)])
+        break;
+      idx[static_cast<size_t>(k)] = 0;
+      ++k;
+    }
+    if (k == rank) done = true;
+  }
+}
+
+}  // namespace
+
+std::string OracleReport::to_string() const {
+  std::ostringstream os;
+  os << oracle << ": " << (ok() ? "ok" : "VIOLATED") << " (" << subjects
+     << " subjects, " << checks << " checks)";
+  for (const std::string& v : violations) os << "\n  " << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Equation 1: D_x(F_jx(i)) == G_j(i) on DOALL-bound dimensions
+// ---------------------------------------------------------------------------
+
+OracleReport check_equation1(const core::CompiledProgram& cp,
+                             const OracleOptions& opts) {
+  OracleReport rep;
+  rep.oracle = "equation1";
+  const decomp::ProgramDecomposition& dec = cp.dec;
+  Rng rng(opts.seed ^ 0xe91ULL);
+
+  for (size_t j = 0; j < cp.nests.size(); ++j) {
+    if (j >= dec.nests.size()) break;
+    const decomp::NestDecomposition& nd = dec.nests[j];
+    // The condition is exact only where no data is meant to move: skip
+    // nests the decomposition itself charged with communication or
+    // boundary traffic.
+    if (!nd.comm_free || !nd.boundary_free) continue;
+    const ir::LoopNest& nest = cp.nests[j].nest;
+    if (nest.depth() == 0) continue;
+    ++rep.subjects;
+
+    // Statement-level owner loop for a virtual dimension (imperfect nests
+    // give different statements different owners), nest-level fallback.
+    auto owner_loop = [&](size_t s, int pd) -> int {
+      if (s < nd.stmts.size() &&
+          pd < static_cast<int>(nd.stmts[s].loop_for_dim.size()) &&
+          nd.stmts[s].loop_for_dim[static_cast<size_t>(pd)] >= 0)
+        return nd.stmts[s].loop_for_dim[static_cast<size_t>(pd)];
+      for (size_t l = 0; l < nd.loops.size(); ++l)
+        if (nd.loops[l].proc_dim == pd) return static_cast<int>(l);
+      return -1;
+    };
+    // Nest-level schedule of a virtual dimension.
+    auto dim_sched = [&](int pd) {
+      for (const decomp::LoopAssignment& la : nd.loops)
+        if (la.proc_dim == pd) return la.sched;
+      return decomp::LoopSched::Sequential;
+    };
+
+    for (int draw = 0; draw < 2 * opts.samples; ++draw) {
+      const auto iter = sample_iteration(nest, rng);
+      if (!iter) continue;
+      for (size_t s = 0; s < nest.stmts.size(); ++s) {
+        const ir::Stmt& stmt = nest.stmts[s];
+        auto check_ref = [&](const ir::ArrayRef& ref) {
+          const auto dc = decomp::data_coords(dec, ref.array,
+                                              ref.index(*iter));
+          if (!dc) return;  // replicated / fully serial array
+          const decomp::ArrayDecomposition& ad =
+              dec.arrays[static_cast<size_t>(ref.array)];
+          for (int pd = 0; pd < dec.num_proc_dims; ++pd) {
+            const Int data_c = (*dc)[static_cast<size_t>(pd)];
+            if (data_c < 0) continue;  // dimension unbound for this array
+            // Pipelined dimensions move data point-to-point by design;
+            // Equation 1 equality is only promised on DOALL dimensions.
+            if (dim_sched(pd) != decomp::LoopSched::Distributed) continue;
+            // A constant subscript along a distributed dimension is a
+            // single-owner broadcast: the cost model reads it through the
+            // cache rather than charging communication, so Equation 1
+            // makes no alignment claim for it.
+            bool constant_subscript = false;
+            for (size_t k = 0; k < ad.dims.size(); ++k) {
+              if (ad.dims[k].proc_dim != pd) continue;
+              bool varies = false;
+              for (int c = 0; c < ref.access.cols(); ++c)
+                varies |= ref.access.at(static_cast<int>(k), c) != 0;
+              constant_subscript = !varies;
+              break;
+            }
+            if (constant_subscript) continue;
+            const int l = owner_loop(s, pd);
+            if (l < 0) continue;
+            ++rep.checks;
+            const Int comp_c = (*iter)[static_cast<size_t>(l)];
+            if (data_c != comp_c)
+              add_violation(
+                  rep,
+                  strf("%s nest %d stmt %d array %s dim p%d: D_x(F(i))=%lld "
+                       "but G(i)=%lld at sampled iteration",
+                       cp.program.name.c_str(), static_cast<int>(j),
+                       static_cast<int>(s),
+                       cp.program.arrays[static_cast<size_t>(ref.array)]
+                           .name.c_str(),
+                       pd, static_cast<long long>(data_c),
+                       static_cast<long long>(comp_c)));
+          }
+        };
+        for (const ir::ArrayRef& r : stmt.reads) check_ref(r);
+        if (stmt.write) check_ref(*stmt.write);
+      }
+    }
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Layout bijectivity: injective into [0, size), closed form == steps
+// ---------------------------------------------------------------------------
+
+void check_layout_against(const ir::ArrayDecl& decl,
+                          const layout::Layout& layout,
+                          const OracleOptions& opts, OracleReport& rep) {
+  ++rep.subjects;
+  const Int total = layout.size();
+  const std::vector<Int>& ldims = layout.dims();
+
+  auto check_index = [&](std::span<const Int> idx,
+                         std::unordered_set<Int>* seen) {
+    const Int lin = layout.linearize(idx);
+    ++rep.checks;
+    if (lin < 0 || lin >= total) {
+      add_violation(rep, strf("%s: linearize out of range: %lld not in "
+                              "[0, %lld)",
+                              decl.name.c_str(), static_cast<long long>(lin),
+                              static_cast<long long>(total)));
+      return;
+    }
+    // The step-interpreted mapping must agree with the linear address —
+    // this differentially checks dim_functions() (which the §4.3 address
+    // walkers are built from) against the transform composition.
+    const std::vector<Int> mapped = layout.map_index(idx);
+    Int addr = 0, stride = 1;
+    bool in_range = mapped.size() == ldims.size();
+    for (size_t k = 0; in_range && k < mapped.size(); ++k) {
+      in_range = mapped[k] >= 0 && mapped[k] < ldims[k];
+      addr += mapped[k] * stride;
+      stride *= ldims[k];
+    }
+    if (!in_range)
+      add_violation(rep, decl.name + ": map_index outside restructured dims");
+    else if (addr != lin)
+      add_violation(rep,
+                    strf("%s: closed-form address %lld != step-interpreted "
+                         "%lld",
+                         decl.name.c_str(), static_cast<long long>(lin),
+                         static_cast<long long>(addr)));
+    if (seen != nullptr && !seen->insert(lin).second)
+      add_violation(rep, strf("%s: address collision at %lld (layout not "
+                              "injective)",
+                              decl.name.c_str(), static_cast<long long>(lin)));
+  };
+
+  if (decl.elem_count() <= opts.exhaustive_below) {
+    std::unordered_set<Int> seen;
+    seen.reserve(static_cast<size_t>(decl.elem_count()));
+    for_each_index(decl, [&](std::span<const Int> idx) {
+      check_index(idx, &seen);
+    });
+  } else {
+    // Sampled: distinct original elements must still get distinct
+    // addresses.
+    Rng rng(opts.seed ^ 0xb13ULL ^ static_cast<std::uint64_t>(total));
+    std::unordered_set<Int> orig_seen, addr_seen;
+    std::vector<Int> idx(decl.dims.size());
+    for (int s = 0; s < opts.samples; ++s) {
+      Int orig = 0, stride = 1;
+      for (size_t k = 0; k < decl.dims.size(); ++k) {
+        idx[k] = rng.uniform(0, decl.dims[k] - 1);
+        orig += idx[k] * stride;
+        stride *= decl.dims[k];
+      }
+      if (!orig_seen.insert(orig).second) continue;
+      check_index(idx, &addr_seen);
+    }
+  }
+}
+
+OracleReport check_layout_bijectivity(const core::CompiledProgram& cp,
+                                      const OracleOptions& opts) {
+  OracleReport rep;
+  rep.oracle = "layout-bijectivity";
+  for (size_t a = 0; a < cp.arrays.size(); ++a)
+    check_layout_against(cp.program.arrays[a], cp.arrays[a].layout, opts,
+                         rep);
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Fold totality / step-consistency / coverage
+// ---------------------------------------------------------------------------
+
+void check_one_fold(const core::CoordFold& fold, Int lo, Int hi,
+                    const std::string& subject, const OracleOptions& opts,
+                    OracleReport& rep) {
+  ++rep.subjects;
+  if (fold.procs < 1) {
+    add_violation(rep, subject + ": fold has non-positive processor extent");
+    return;
+  }
+  const Int block = std::max<Int>(1, fold.block);
+  const Int span = hi >= lo ? hi - lo + 1 : 0;
+
+  // Totality: any Int — including values below the offset and far past the
+  // domain — must fold into [0, procs).
+  Rng rng(opts.seed ^ 0xf01dULL ^ static_cast<std::uint64_t>(lo));
+  const Int ext_lo = lo - 2 * span - 3, ext_hi = hi + 2 * span + 3;
+  for (int s = 0; s < opts.samples; ++s) {
+    const Int v = rng.uniform(ext_lo, std::max(ext_lo, ext_hi));
+    const int c = fold.fold(v);
+    ++rep.checks;
+    if (c < 0 || c >= fold.procs) {
+      add_violation(rep, strf("%s: fold(%lld) = %d outside [0, %d)",
+                              subject.c_str(), static_cast<long long>(v), c,
+                              fold.procs));
+      return;
+    }
+  }
+  if (span == 0) return;
+
+  // Step-consistency and owner coverage over the iteration domain.
+  const bool capped = span > opts.coverage_cap;
+  const Int whi = capped ? lo + opts.coverage_cap - 1 : hi;
+  std::vector<char> hit(static_cast<size_t>(fold.procs), 0);
+  int prev = fold.fold(lo);
+  hit[static_cast<size_t>(prev)] = 1;
+  Int distinct = 1;
+  for (Int v = lo + 1; v <= whi; ++v) {
+    const int cur = fold.fold(v);
+    ++rep.checks;
+    bool consistent = true;
+    switch (fold.kind) {
+      case DistKind::Serial:
+        consistent = cur == 0;
+        break;
+      case DistKind::Block:
+        consistent = cur == prev || cur == prev + 1;
+        break;
+      case DistKind::Cyclic:
+        consistent = cur == (prev + 1) % fold.procs;
+        break;
+      case DistKind::BlockCyclic: {
+        const bool boundary = floor_mod(v - fold.offset, block) == 0;
+        consistent = boundary ? cur == (prev + 1) % fold.procs : cur == prev;
+        break;
+      }
+    }
+    if (!consistent) {
+      add_violation(rep,
+                    strf("%s: fold stepped %d -> %d at v=%lld (violates %s "
+                         "semantics)",
+                         subject.c_str(), prev, cur,
+                         static_cast<long long>(v),
+                         decomp::to_string(fold.kind).c_str()));
+      return;
+    }
+    if (!hit[static_cast<size_t>(cur)]) {
+      hit[static_cast<size_t>(cur)] = 1;
+      ++distinct;
+    }
+    prev = cur;
+  }
+  if (capped) return;
+
+  // Coverage: the walked distinct-owner count must match the analytic one.
+  Int expected = 1;
+  const Int xlo = lo - fold.offset, xhi = hi - fold.offset;
+  switch (fold.kind) {
+    case DistKind::Serial:
+      expected = 1;
+      break;
+    case DistKind::Block: {
+      const Int clo = std::clamp<Int>(floor_div(xlo, block), 0,
+                                      fold.procs - 1);
+      const Int chi = std::clamp<Int>(floor_div(xhi, block), 0,
+                                      fold.procs - 1);
+      expected = chi - clo + 1;
+      break;
+    }
+    case DistKind::Cyclic:
+      expected = std::min<Int>(fold.procs, span);
+      break;
+    case DistKind::BlockCyclic:
+      expected = std::min<Int>(fold.procs,
+                               floor_div(xhi, block) - floor_div(xlo, block) +
+                                   1);
+      break;
+  }
+  ++rep.checks;
+  if (distinct != expected)
+    add_violation(rep, strf("%s: fold covers %lld owners over [%lld, %lld], "
+                            "expected %lld",
+                            subject.c_str(), static_cast<long long>(distinct),
+                            static_cast<long long>(lo),
+                            static_cast<long long>(hi),
+                            static_cast<long long>(expected)));
+}
+
+OracleReport check_fold_coverage(const core::CompiledProgram& cp,
+                                 const OracleOptions& opts) {
+  OracleReport rep;
+  rep.oracle = "fold-coverage";
+
+  // Owner folds of the lowered schedule, over each nest's iteration hull.
+  for (size_t j = 0; j < cp.nests.size(); ++j) {
+    const core::CompiledNest& cn = cp.nests[j];
+    if (cn.nest.depth() == 0) continue;
+    const dep::Hull hull = dep::iteration_hull(cn.nest);
+    if (hull.empty) continue;
+    for (size_t s = 0; s < cn.stmts.size(); ++s)
+      for (const auto& [loop, fold] : cn.stmts[s].owner)
+        check_one_fold(fold, hull.lo[static_cast<size_t>(loop)],
+                       hull.hi[static_cast<size_t>(loop)],
+                       strf("%s nest %d stmt %d loop %d",
+                            cp.program.name.c_str(), static_cast<int>(j),
+                            static_cast<int>(s), loop),
+                       opts, rep);
+  }
+
+  // Partition folds: in-range over the array's extent.
+  for (size_t a = 0; a < cp.arrays.size(); ++a) {
+    const layout::Partition& part = cp.arrays[a].part;
+    for (size_t k = 0; k < part.dims.size(); ++k) {
+      const layout::Partition::Dim& d = part.dims[k];
+      if (d.proc_dim < 0 || d.extent <= 0) continue;
+      ++rep.subjects;
+      Rng rng(opts.seed ^ 0x9a27ULL ^ static_cast<std::uint64_t>(a << 8 | k));
+      for (int s = 0; s < opts.samples; ++s) {
+        const Int v = rng.uniform(0, d.extent - 1);
+        const int c = part.fold(static_cast<int>(k), v);
+        ++rep.checks;
+        if (c < 0 || c >= d.procs) {
+          add_violation(
+              rep, strf("%s dim %d: partition fold(%lld) = %d outside "
+                        "[0, %d)",
+                        cp.program.arrays[a].name.c_str(),
+                        static_cast<int>(k), static_cast<long long>(v), c,
+                        d.procs));
+          break;
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Differential: fast engine vs interpreter vs sequential reference
+// ---------------------------------------------------------------------------
+
+OracleReport check_differential(const core::CompiledProgram& cp,
+                                const machine::MachineConfig& mcfg,
+                                const OracleOptions& opts) {
+  (void)opts;
+  OracleReport rep;
+  rep.oracle = "differential";
+  ++rep.subjects;
+
+  runtime::ExecOptions fast_o;
+  fast_o.fast_exec = 1;
+  runtime::ExecOptions interp_o;
+  interp_o.fast_exec = 0;
+  const runtime::RunResult fast = runtime::simulate(cp, mcfg, fast_o);
+  const runtime::RunResult interp = runtime::simulate(cp, mcfg, interp_o);
+
+  auto expect_eq = [&](bool eq, const char* what) {
+    ++rep.checks;
+    if (!eq)
+      add_violation(rep, cp.program.name + ": fast engine and interpreter "
+                         "disagree on " + what);
+  };
+  expect_eq(fast.cycles == interp.cycles, "cycles");
+  expect_eq(fast.proc_cycles == interp.proc_cycles, "per-processor clocks");
+  expect_eq(fast.barrier_cycles == interp.barrier_cycles, "barrier cycles");
+  expect_eq(fast.wait_cycles == interp.wait_cycles, "dataflow wait cycles");
+  expect_eq(fast.statements == interp.statements, "statement count");
+  expect_eq(fast.values == interp.values, "final array values");
+  // Memory behaviour must match except the dir_fast_hits counter (the
+  // interpreter run disables the directory fast path by design).
+  expect_eq(fast.mem.accesses == interp.mem.accesses, "memory accesses");
+  expect_eq(fast.mem.l1_hits == interp.mem.l1_hits, "L1 hits");
+  expect_eq(fast.mem.memory_cycles == interp.mem.memory_cycles,
+            "memory cycles");
+
+  const auto reference = runtime::run_reference(cp.program);
+  ++rep.checks;
+  if (fast.values != reference)
+    add_violation(rep, cp.program.name +
+                           ": transformed program diverges from the "
+                           "sequential reference");
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+bool ValidationReport::ok() const {
+  return std::all_of(oracles.begin(), oracles.end(),
+                     [](const OracleReport& r) { return r.ok(); });
+}
+
+long ValidationReport::total_checks() const {
+  long n = 0;
+  for (const OracleReport& r : oracles) n += r.checks;
+  return n;
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const OracleReport& r : oracles) os << r.to_string() << "\n";
+  return os.str();
+}
+
+void ValidationReport::raise_if_violated(const std::string& unit) const {
+  if (ok()) return;
+  std::ostringstream os;
+  os << unit << ": validation oracles violated:";
+  for (const OracleReport& r : oracles)
+    for (const std::string& v : r.violations)
+      os << "\n  [" << r.oracle << "] " << v;
+  throw Error(Error::Code::kOracleViolation, os.str());
+}
+
+ValidationReport validate_compiled(const core::CompiledProgram& cp,
+                                   const OracleOptions& opts) {
+  ValidationReport rep;
+  rep.oracles.push_back(check_equation1(cp, opts));
+  rep.oracles.push_back(check_layout_bijectivity(cp, opts));
+  rep.oracles.push_back(check_fold_coverage(cp, opts));
+  return rep;
+}
+
+ValidationReport validate_run(const core::CompiledProgram& cp,
+                              const machine::MachineConfig& mcfg,
+                              const OracleOptions& opts) {
+  ValidationReport rep = validate_compiled(cp, opts);
+  rep.oracles.push_back(check_differential(cp, mcfg, opts));
+  return rep;
+}
+
+bool validate_enabled() { return env_int("DCT_VALIDATE", 0) != 0; }
+
+}  // namespace dct::verify

@@ -1,0 +1,111 @@
+// Validation oracle layer: runtime self-checks of the invariants the
+// paper's correctness argument rests on.
+//
+// Four oracles, each independent and sampling-based so they stay cheap
+// enough to run inside CI sweeps (DCT_VALIDATE=1):
+//
+//  * equation-1: the no-communication condition D_x(F_jx(i)) = G_j(i)
+//    (paper Equation 1). For every communication-free nest, sampled
+//    iterations must map each reference's data coordinates onto the
+//    iteration's computation coordinates on every DOALL-bound virtual
+//    dimension. (Pipelined dimensions move data by design and boundary
+//    traffic is excluded by sampling only comm-free + boundary-free
+//    nests, so equality there is exact.)
+//
+//  * layout-bijectivity: strip-mine + permute layouts must be injective
+//    into [0, size) — every original element round-trips to a distinct
+//    address, and the closed-form dim_functions() (the basis of the §4.3
+//    address walkers) must agree with the step-interpreted map_index().
+//
+//  * fold-coverage: every CoordFold the lowered schedule binds must be
+//    total (any Int folds into [0, procs)), step-consistent (consecutive
+//    domain values move the owner exactly as BLOCK/CYCLIC/BLOCK-CYCLIC
+//    semantics dictate), and cover the analytically expected number of
+//    owners over the nest's iteration hull; array Partition folds must be
+//    in-range over the array's extent.
+//
+//  * differential: the fast engine (incremental walkers + directory fast
+//    path), the interpreter, and the sequential reference must produce
+//    bit-identical results — values, cycles, and statement counts.
+//
+// validate_compiled() runs the three static oracles; validate_run() adds
+// the differential cross-check. The verify pass (core::make_verify_pass)
+// runs the static oracles at the tail of the pass pipeline when
+// DCT_VALIDATE=1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "machine/machine.hpp"
+
+namespace dct::verify {
+
+using linalg::Int;
+
+struct OracleOptions {
+  int samples = 256;  ///< sampled iterations/elements per subject
+  std::uint64_t seed = 0x5eedULL;
+  /// Arrays with at most this many elements are checked exhaustively for
+  /// address collisions; larger ones are sampled.
+  Int exhaustive_below = 4096;
+  /// Fold domains wider than this skip the exact coverage count (totality
+  /// and step-consistency are still sampled).
+  Int coverage_cap = 65536;
+};
+
+/// Outcome of one oracle over one compiled program.
+struct OracleReport {
+  std::string oracle;
+  long subjects = 0;  ///< nests / arrays / folds inspected
+  long checks = 0;    ///< individual assertions evaluated
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+OracleReport check_equation1(const core::CompiledProgram& cp,
+                             const OracleOptions& opts = {});
+OracleReport check_layout_bijectivity(const core::CompiledProgram& cp,
+                                      const OracleOptions& opts = {});
+OracleReport check_fold_coverage(const core::CompiledProgram& cp,
+                                 const OracleOptions& opts = {});
+/// Runs the program under both engines and the sequential reference;
+/// requires mcfg.procs == cp.procs.
+OracleReport check_differential(const core::CompiledProgram& cp,
+                                const machine::MachineConfig& mcfg,
+                                const OracleOptions& opts = {});
+
+// Low-level entry points, exposed so tests can aim an oracle at a
+// deliberately broken subject and prove it has teeth.
+void check_layout_against(const ir::ArrayDecl& decl,
+                          const layout::Layout& layout,
+                          const OracleOptions& opts, OracleReport& rep);
+void check_one_fold(const core::CoordFold& fold, Int lo, Int hi,
+                    const std::string& subject, const OracleOptions& opts,
+                    OracleReport& rep);
+
+struct ValidationReport {
+  std::vector<OracleReport> oracles;
+
+  bool ok() const;
+  long total_checks() const;
+  std::string to_string() const;
+  /// Throw Error(kOracleViolation) listing every violation when !ok().
+  void raise_if_violated(const std::string& unit) const;
+};
+
+/// The three static oracles (no execution).
+ValidationReport validate_compiled(const core::CompiledProgram& cp,
+                                   const OracleOptions& opts = {});
+/// Static oracles plus the differential engine cross-check.
+ValidationReport validate_run(const core::CompiledProgram& cp,
+                              const machine::MachineConfig& mcfg,
+                              const OracleOptions& opts = {});
+
+/// True when the DCT_VALIDATE environment variable requests validation.
+bool validate_enabled();
+
+}  // namespace dct::verify

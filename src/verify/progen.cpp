@@ -1,0 +1,248 @@
+#include "verify/progen.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "runtime/executor.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+#include "verify/oracle.hpp"
+
+namespace dct::verify {
+
+using ir::Stmt;
+using linalg::Int;
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One-hot reference into `array`: every array dimension either reads a
+/// loop below `sdepth` with an offset that keeps the subscript inside the
+/// extent for every iteration, or is a constant. `loop_hi[l]` is loop l's
+/// inclusive upper bound.
+ir::ArrayRef random_ref(Rng& rng, int array, std::span<const Int> dims,
+                        int nest_depth, int sdepth,
+                        std::span<const Int> loop_hi) {
+  std::vector<std::pair<int, Int>> spec;
+  for (const Int extent : dims) {
+    // Candidate loops that fit inside this extent.
+    std::vector<int> fits;
+    for (int l = 0; l < sdepth; ++l)
+      if (loop_hi[static_cast<size_t>(l)] < extent) fits.push_back(l);
+    if (!fits.empty() && rng.uniform(0, 9) < 8) {
+      const int l = fits[static_cast<size_t>(
+          rng.uniform(0, static_cast<int>(fits.size()) - 1))];
+      const Int slack = extent - 1 - loop_hi[static_cast<size_t>(l)];
+      spec.push_back({l, rng.uniform(0, slack)});
+    } else {
+      spec.push_back({-1, rng.uniform(0, extent - 1)});  // constant dim
+    }
+  }
+  return ir::simple_ref(array, nest_depth, spec);
+}
+
+}  // namespace
+
+ir::Program generate_program(std::uint64_t seed, const ProgenOptions& opts) {
+  Rng rng(seed ^ 0x5eedf00dULL);
+  ir::ProgramBuilder pb(strf("fuzz-%llu", static_cast<unsigned long long>(seed)));
+
+  const int narrays = static_cast<int>(rng.uniform(1, opts.max_arrays));
+  std::vector<std::vector<Int>> array_dims;
+  for (int a = 0; a < narrays; ++a) {
+    // Rank weighted toward 2 (the common case in the paper's apps).
+    const int roll = static_cast<int>(rng.uniform(0, 9));
+    const int rank = roll < 3 ? 1 : roll < 8 ? 2 : 3;
+    std::vector<Int> dims;
+    for (int k = 0; k < rank; ++k)
+      dims.push_back(rng.uniform(opts.min_extent, opts.max_extent));
+    pb.array(strf("a%d", a), dims);
+    array_dims.push_back(std::move(dims));
+  }
+
+  static const double kCoef[] = {0.5, 0.25, 1.0, -0.5};
+  static const double kBias[] = {1.0, 0.5, -1.0, 2.0, 0.25};
+
+  const int nnests = static_cast<int>(rng.uniform(1, opts.max_nests));
+  for (int j = 0; j < nnests; ++j) {
+    ir::LoopNest& nest = pb.nest(strf("n%d", j));
+    const int depth = static_cast<int>(rng.uniform(1, opts.max_depth));
+    std::vector<Int> loop_hi;
+    for (int l = 0; l < depth; ++l) {
+      // Loops stay shorter than the smallest extent so offsets have slack.
+      loop_hi.push_back(rng.uniform(2, opts.min_extent - 2));
+      nest.loops.push_back(ir::loop(strf("i%d", l), ir::cst(0),
+                                    ir::cst(loop_hi.back())));
+    }
+
+    const int nstmts = static_cast<int>(rng.uniform(1, opts.max_stmts));
+    for (int s = 0; s < nstmts; ++s) {
+      Stmt stmt;
+      // Occasionally an imperfect nest: the statement sits above the
+      // innermost loops (LU's divide is the app-side analogue).
+      int sdepth = depth;
+      if (depth > 1 && rng.uniform(0, 3) == 0)
+        sdepth = static_cast<int>(rng.uniform(1, depth - 1));
+      stmt.depth = sdepth == depth ? -1 : sdepth;
+
+      const int w = static_cast<int>(rng.uniform(0, narrays - 1));
+      stmt.write = random_ref(rng, w, array_dims[static_cast<size_t>(w)],
+                              depth, sdepth, loop_hi);
+      const int nreads = static_cast<int>(rng.uniform(0, opts.max_reads));
+      std::vector<double> coef;
+      for (int r = 0; r < nreads; ++r) {
+        const int a = static_cast<int>(rng.uniform(0, narrays - 1));
+        stmt.reads.push_back(random_ref(
+            rng, a, array_dims[static_cast<size_t>(a)], depth, sdepth,
+            loop_hi));
+        coef.push_back(kCoef[rng.uniform(0, 3)]);
+      }
+      const double bias = kBias[rng.uniform(0, 4)];
+      // The evaluator tolerates FEWER reads than it was built for — the
+      // shrinker drops reads without touching the closure.
+      stmt.eval = [bias, coef](std::span<const double> vals) {
+        double acc = bias;
+        const size_t n = std::min(coef.size(), vals.size());
+        for (size_t i = 0; i < n; ++i) acc += coef[i] * vals[i];
+        return acc;
+      };
+      stmt.compute_cycles = 4.0;
+      nest.stmts.push_back(std::move(stmt));
+    }
+  }
+  pb.set_time_steps(static_cast<int>(rng.uniform(1, opts.max_time_steps)));
+  return pb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Differential check
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> check_program(const ir::Program& prog) {
+  try {
+    const auto reference = runtime::run_reference(prog);
+    for (const core::Mode mode :
+         {core::Mode::Base, core::Mode::CompDecomp, core::Mode::Full}) {
+      for (const int procs : {1, 3, 4}) {
+        const core::CompiledProgram cp = core::compile(prog, mode, procs);
+
+        // Static oracles on every compilation.
+        const ValidationReport vr = validate_compiled(cp);
+        if (!vr.ok())
+          return strf("mode=%s procs=%d static oracle violation:\n%s",
+                      core::to_string(mode).c_str(), procs,
+                      vr.to_string().c_str());
+
+        runtime::RunResult runs[2];
+        for (const int fast : {1, 0}) {
+          runtime::ExecOptions eopts;
+          eopts.fast_exec = fast;
+          runs[fast] = runtime::simulate(
+              cp, machine::MachineConfig::dash(procs), eopts);
+          if (runs[fast].values != reference)
+            return strf("mode=%s procs=%d engine=%s diverges from the "
+                        "sequential reference",
+                        core::to_string(mode).c_str(), procs,
+                        fast ? "fast" : "interpreter");
+        }
+        if (runs[0].cycles != runs[1].cycles ||
+            runs[0].statements != runs[1].statements ||
+            runs[0].proc_cycles != runs[1].proc_cycles)
+          return strf("mode=%s procs=%d engines disagree on timing "
+                      "(fast %.1f vs interpreter %.1f cycles)",
+                      core::to_string(mode).c_str(), procs, runs[1].cycles,
+                      runs[0].cycles);
+      }
+    }
+  } catch (const Error& e) {
+    return "crash: " + e.full_message();
+  } catch (const std::exception& e) {
+    return strf("crash (foreign exception): %s", e.what());
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+ir::Program shrink_program(
+    const ir::Program& prog,
+    const std::function<std::optional<std::string>(const ir::Program&)>&
+        failing) {
+  ir::Program best = prog;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Drop whole nests.
+    for (size_t j = 0; best.nests.size() > 1 && j < best.nests.size();) {
+      ir::Program cand = best;
+      cand.nests.erase(cand.nests.begin() + static_cast<long>(j));
+      if (failing(cand)) {
+        best = std::move(cand);
+        progress = true;
+      } else {
+        ++j;
+      }
+    }
+    // Drop statements (a nest keeps at least one).
+    for (size_t j = 0; j < best.nests.size(); ++j) {
+      for (size_t s = 0;
+           best.nests[j].stmts.size() > 1 && s < best.nests[j].stmts.size();) {
+        ir::Program cand = best;
+        cand.nests[j].stmts.erase(cand.nests[j].stmts.begin() +
+                                  static_cast<long>(s));
+        if (failing(cand)) {
+          best = std::move(cand);
+          progress = true;
+        } else {
+          ++s;
+        }
+      }
+    }
+    // Drop reads (evaluators ignore missing trailing reads).
+    for (size_t j = 0; j < best.nests.size(); ++j) {
+      for (size_t s = 0; s < best.nests[j].stmts.size(); ++s) {
+        for (size_t r = 0; r < best.nests[j].stmts[s].reads.size();) {
+          ir::Program cand = best;
+          cand.nests[j].stmts[s].reads.erase(
+              cand.nests[j].stmts[s].reads.begin() + static_cast<long>(r));
+          if (failing(cand)) {
+            best = std::move(cand);
+            progress = true;
+          } else {
+            ++r;
+          }
+        }
+      }
+    }
+    // Collapse the time loop.
+    if (best.time_steps > 1) {
+      ir::Program cand = best;
+      cand.time_steps = 1;
+      if (failing(cand)) {
+        best = std::move(cand);
+        progress = true;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<Divergence> fuzz_one(std::uint64_t seed,
+                                   const ProgenOptions& opts) {
+  const ir::Program prog = generate_program(seed, opts);
+  if (!check_program(prog)) return std::nullopt;
+  Divergence d;
+  d.seed = seed;
+  d.program = shrink_program(prog);
+  d.detail = check_program(d.program).value_or("(not reproducible?)");
+  return d;
+}
+
+}  // namespace dct::verify

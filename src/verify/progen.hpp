@@ -1,0 +1,70 @@
+// Seeded random affine-program generator and differential fuzzer.
+//
+// generate_program(seed) builds a small random — but always legal —
+// affine program: rectangular nests (depth 1-3, occasionally imperfect),
+// 1-3 arrays of rank 1-3, statements whose references are one-hot affine
+// maps with in-bounds offsets, and deterministic numeric evaluators. Every
+// generated program is a valid input to the full compiler pipeline.
+//
+// check_program compiles the program in all three modes, executes it at
+// several processor counts under BOTH executor engines, and compares every
+// run bit-for-bit against the sequential reference (plus the static
+// oracles of verify/oracle.hpp). Any disagreement — or any crash — is a
+// finding.
+//
+// When a seed fails, shrink_program greedily drops nests, statements,
+// reads and time steps while the failure reproduces, so the reported
+// program is a minimal repro. The seed alone replays it:
+// generate_program(seed) is deterministic across platforms (splitmix64).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace dct::verify {
+
+struct ProgenOptions {
+  int max_arrays = 3;
+  int max_nests = 3;
+  int max_depth = 3;
+  int max_stmts = 2;
+  int max_reads = 3;
+  int max_time_steps = 2;
+  linalg::Int min_extent = 6;   ///< array extents (loops stay shorter)
+  linalg::Int max_extent = 10;
+};
+
+/// Deterministic: the same seed always yields the same program.
+ir::Program generate_program(std::uint64_t seed,
+                             const ProgenOptions& opts = {});
+
+/// Differential check: all 3 modes x procs {1, 3, 4} x both engines vs
+/// the sequential reference, plus the static validation oracles. Returns
+/// a description of the first disagreement (or crash), nullopt on full
+/// agreement.
+std::optional<std::string> check_program(const ir::Program& prog);
+
+/// Greedy structural shrink: repeatedly drop nests, statements, reads and
+/// time steps while `failing` still returns a finding for the reduced
+/// program. Returns the smallest failing program found.
+ir::Program shrink_program(
+    const ir::Program& prog,
+    const std::function<std::optional<std::string>(const ir::Program&)>&
+        failing = check_program);
+
+/// A divergence found by the fuzzer, already shrunk to a minimal repro.
+struct Divergence {
+  std::uint64_t seed = 0;
+  std::string detail;   ///< disagreement of the SHRUNK program
+  ir::Program program;  ///< minimal failing program
+};
+
+/// Generate, check, and (on failure) shrink one seed.
+std::optional<Divergence> fuzz_one(std::uint64_t seed,
+                                   const ProgenOptions& opts = {});
+
+}  // namespace dct::verify

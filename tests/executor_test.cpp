@@ -159,15 +159,56 @@ TEST(Executor, BuffersSizedFromProgramNotFixedCaps) {
 
 TEST(Executor, RejectsProcessorCountsBeyondInt8Writers) {
   // The dataflow state records the last writer in an int8; simulate must
-  // refuse processor counts that cannot be represented rather than wrap.
+  // refuse processor counts that cannot be represented rather than wrap —
+  // with a structured kUnsupportedConfig code so the sweep records a
+  // skipped cell instead of a fault.
   const ir::Program prog = apps::figure1(16, 1);
   const auto cp = core::compile(prog, Mode::Base, 200);
   try {
     simulate(cp, machine::MachineConfig::dash(200));
     FAIL() << "expected rejection of 200 processors";
   } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Error::Code::kUnsupportedConfig);
     EXPECT_NE(std::string(e.what()).find("127"), std::string::npos);
   }
+}
+
+TEST(Executor, DeadlineCancelsRunawayNest) {
+  // A runaway simulation must stop at a cancellation poll, in both
+  // engines, with the deadline's structured code.
+  const ir::Program prog = apps::stencil5(96, 4);
+  const auto cp = core::compile(prog, Mode::Full, 4);
+  for (int fast : {1, 0}) {
+    ExecOptions opts;
+    opts.fast_exec = fast;
+    opts.cancel = support::CancelToken::with_deadline_ms(0);  // expired
+    try {
+      simulate(cp, machine::MachineConfig::dash(4), opts);
+      FAIL() << "expected deadline trip (fast_exec=" << fast << ")";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Error::Code::kDeadlineExceeded);
+    }
+  }
+}
+
+TEST(Executor, ExplicitCancellationStopsSimulation) {
+  const ir::Program prog = apps::figure1(32, 2);
+  const auto cp = core::compile(prog, Mode::Base, 2);
+  ExecOptions opts;
+  opts.cancel = support::CancelToken::make();
+  opts.cancel.cancel();
+  EXPECT_THROW(simulate(cp, machine::MachineConfig::dash(2), opts), Error);
+  // An inert token costs nothing and changes nothing.
+  const auto plain = simulate(cp, machine::MachineConfig::dash(2));
+  const auto with_token =
+      simulate(cp, machine::MachineConfig::dash(2),
+               [] {
+                 ExecOptions o;
+                 o.cancel = support::CancelToken::with_deadline_ms(60000);
+                 return o;
+               }());
+  EXPECT_EQ(plain.cycles, with_token.cycles);
+  EXPECT_EQ(plain.values, with_token.values);
 }
 
 TEST(Executor, AddressStrategyChangesTimeNotValues) {

@@ -1,7 +1,13 @@
-// Tests for the experiment harness (sweeps, figure rendering, Table 1).
+// Tests for the experiment harness (sweeps, figure rendering, Table 1)
+// and its fault isolation: injected faults become CellFailure records,
+// optimized modes degrade down the mode chain, unsupported configurations
+// are skipped, and a tripped deadline cancels the sweep cooperatively —
+// the sweep itself always completes.
 #include "core/experiment.hpp"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
 
 #include "apps/apps.hpp"
 #include "support/diagnostics.hpp"
@@ -59,6 +65,133 @@ TEST(Experiment, ChartRendering) {
   EXPECT_NE(chart.find("title"), std::string::npos);
   EXPECT_NE(chart.find("processors"), std::string::npos);
   EXPECT_NE(chart.find("s1"), std::string::npos);
+}
+
+TEST(Experiment, InjectedFaultDegradesDownTheModeChain) {
+  // Full faults at P=4; the cell must serve the CompDecomp result instead
+  // and record a degraded CellFailure — not abort the sweep.
+  SweepOptions opts;
+  opts.procs = {2, 4};
+  opts.verify = false;
+  opts.fault_hook = [](Mode mode, int procs) {
+    if (mode == Mode::Full && procs == 4)
+      throw Error("injected pass fault");
+  };
+  const SweepResult r = run_sweep(apps::figure1(24, 2), opts);
+
+  ASSERT_EQ(r.failures.size(), 1u);
+  const CellFailure& f = r.failures[0];
+  EXPECT_EQ(f.mode, Mode::Full);
+  EXPECT_EQ(f.procs, 4);
+  EXPECT_TRUE(f.degraded);
+  EXPECT_EQ(f.served_mode, Mode::CompDecomp);
+  EXPECT_FALSE(f.skipped);
+  EXPECT_NE(f.what.find("injected"), std::string::npos);
+  EXPECT_NE(f.repro.find("mode=comp decomp + data transform"),
+            std::string::npos);
+
+  // The served fallback result still yields a real speedup number...
+  EXPECT_GT(r.speedups[2][1], 0.0);
+  // ...and the trace carries the `degraded` pass record.
+  bool saw_degraded = false;
+  for (const auto& p : r.trace.passes) saw_degraded |= p.name == "degraded";
+  EXPECT_TRUE(saw_degraded);
+}
+
+TEST(Experiment, FaultInEveryModeYieldsFailedCellNotAbort) {
+  SweepOptions opts;
+  opts.procs = {2, 4};
+  opts.verify = false;
+  opts.fault_hook = [](Mode, int procs) {
+    if (procs == 4) throw std::runtime_error("hard fault");  // every mode
+  };
+  SweepResult r;
+  ASSERT_NO_THROW(r = run_sweep(apps::figure1(24, 2), opts));
+
+  // All three P=4 cells failed all the way down the chain.
+  ASSERT_EQ(r.failures.size(), 3u);
+  for (const CellFailure& f : r.failures) {
+    EXPECT_EQ(f.procs, 4);
+    EXPECT_FALSE(f.degraded);
+    EXPECT_EQ(f.code, Error::Code::kFault);  // foreign exception wrapped
+  }
+  // Failed cells render as "-", and the failure table is printed.
+  for (size_t m = 0; m < r.modes.size(); ++m) {
+    EXPECT_GT(r.speedups[m][0], 0.0);
+    EXPECT_EQ(r.speedups[m][1], 0.0);
+  }
+  const std::string text = render_sweep("faulty", r);
+  EXPECT_NE(text.find("cell failures:"), std::string::npos);
+  EXPECT_NE(text.find(" - |"), std::string::npos);
+}
+
+TEST(Experiment, RetriesRecoverTransientFaults) {
+  std::atomic<int> remaining{2};  // first two attempts anywhere fault
+  SweepOptions opts;
+  opts.procs = {2};
+  opts.verify = false;
+  opts.threads = 1;  // deterministic attempt order
+  opts.retries = 2;
+  opts.fault_hook = [&remaining](Mode, int) {
+    if (remaining.fetch_sub(1) > 0) throw Error("transient fault");
+  };
+  const SweepResult r = run_sweep(apps::figure1(24, 2), opts);
+  // The retry budget absorbed the transient faults: no failure records,
+  // every cell produced its own result.
+  EXPECT_TRUE(r.all_cells_ok());
+  for (const auto& series : r.speedups)
+    for (double s : series) EXPECT_GT(s, 0.0);
+}
+
+TEST(Experiment, UnsupportedProcCountIsSkippedNotDegraded) {
+  // P=256 exceeds the simulator's int8 writer-id contract: the cell is
+  // recorded as skipped (kUnsupportedConfig) and never degraded — every
+  // mode would be equally unsupported.
+  SweepOptions opts;
+  opts.procs = {2, 256};
+  opts.modes = {Mode::Base};
+  opts.verify = false;
+  const SweepResult r = run_sweep(apps::figure1(16, 1), opts);
+  ASSERT_EQ(r.failures.size(), 1u);
+  const CellFailure& f = r.failures[0];
+  EXPECT_TRUE(f.skipped);
+  EXPECT_FALSE(f.degraded);
+  EXPECT_EQ(f.code, Error::Code::kUnsupportedConfig);
+  EXPECT_EQ(f.procs, 256);
+  EXPECT_GT(r.speedups[0][0], 0.0);
+  EXPECT_EQ(r.speedups[0][1], 0.0);
+}
+
+TEST(Experiment, DeadlineCancelsRunawaySweep) {
+  // A deadline that expires immediately: simulations stop at their first
+  // cancellation poll and undispatched cells are recorded as cancelled.
+  // The sweep still returns a complete (all-failures) result.
+  SweepOptions opts;
+  opts.procs = {2, 4, 8};
+  opts.verify = false;
+  opts.deadline_ms = 0.0001;
+  const SweepResult r = run_sweep(apps::stencil5(64, 4), opts);
+  ASSERT_FALSE(r.failures.empty());
+  for (const CellFailure& f : r.failures)
+    EXPECT_EQ(f.code, Error::Code::kDeadlineExceeded) << f.to_string();
+  // Nothing useful was measured, but nothing crashed either.
+  const std::string text = render_sweep("deadline", r);
+  EXPECT_NE(text.find("cell failures:"), std::string::npos);
+}
+
+TEST(Experiment, CellFailureToStringIsInformative) {
+  CellFailure f;
+  f.mode = Mode::Full;
+  f.procs = 8;
+  f.code = Error::Code::kFault;
+  f.stage = "pass lower";
+  f.what = "boom";
+  f.attempts = 3;
+  const std::string s = f.to_string();
+  EXPECT_NE(s.find("P=8"), std::string::npos);
+  EXPECT_NE(s.find("fault"), std::string::npos);
+  EXPECT_NE(s.find("pass lower"), std::string::npos);
+  EXPECT_NE(s.find("boom"), std::string::npos);
 }
 
 TEST(Experiment, TableAlignment) {

@@ -15,6 +15,7 @@
 #include "core/pass.hpp"
 #include "runtime/executor.hpp"
 #include "support/remark.hpp"
+#include "verify/oracle.hpp"
 
 namespace dct {
 namespace {
@@ -22,15 +23,21 @@ namespace {
 using core::Mode;
 
 TEST(Pipeline, ModePassLists) {
+  // With DCT_VALIDATE=1 every pipeline additionally ends in `verify`.
+  auto with_verify = [](std::vector<std::string> names) {
+    if (verify::validate_enabled()) names.push_back("verify");
+    return names;
+  };
+
   const auto base = core::build_pipeline(Mode::Base).pass_names();
-  const std::vector<std::string> want_base = {
-      "parallelize", "decompose-base", "layout", "lower", "addr-strategy"};
+  const auto want_base = with_verify(
+      {"parallelize", "decompose-base", "layout", "lower", "addr-strategy"});
   EXPECT_EQ(base, want_base);
 
   const auto cd = core::build_pipeline(Mode::CompDecomp).pass_names();
-  const std::vector<std::string> want_cd = {
-      "parallelize", "decompose",    "fold-select", "barrier-elim",
-      "layout",      "lower",        "addr-strategy"};
+  const auto want_cd = with_verify({"parallelize", "decompose", "fold-select",
+                                    "barrier-elim", "layout", "lower",
+                                    "addr-strategy"});
   EXPECT_EQ(cd, want_cd);
 
   // Full is CompDecomp's list — restructuring is pass configuration, not
@@ -38,8 +45,7 @@ TEST(Pipeline, ModePassLists) {
   EXPECT_EQ(core::build_pipeline(Mode::Full).pass_names(), want_cd);
 
   const auto tail = core::build_lowering_pipeline(Mode::Full).pass_names();
-  const std::vector<std::string> want_tail = {"layout", "lower",
-                                              "addr-strategy"};
+  const auto want_tail = with_verify({"layout", "lower", "addr-strategy"});
   EXPECT_EQ(tail, want_tail);
 }
 

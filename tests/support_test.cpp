@@ -1,10 +1,15 @@
-// Tests for the support utilities (string formatting, env config, RNG).
+// Tests for the support utilities (string formatting, env config, RNG,
+// structured errors, cancellation tokens, parallel-for fault collection).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <set>
 
+#include "support/cancel.hpp"
+#include "support/diagnostics.hpp"
 #include "support/env.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
 
@@ -54,6 +59,114 @@ TEST(Rng, DeterministicAndSpread) {
     EXPECT_GE(u, 0.0);
     EXPECT_LT(u, 1.0);
   }
+}
+
+TEST(Error, CodesAndContextChain) {
+  Error e(Error::Code::kUnsupportedConfig, "too many processors");
+  EXPECT_EQ(e.code(), Error::Code::kUnsupportedConfig);
+  e.with_context("simulate").with_context("sweep cell");
+  ASSERT_EQ(e.context().size(), 2u);
+  EXPECT_EQ(e.context()[0], "simulate");  // innermost first
+  const std::string full = e.full_message();
+  EXPECT_NE(full.find("too many processors"), std::string::npos);
+  EXPECT_NE(full.find("simulate"), std::string::npos);
+  EXPECT_NE(full.find("sweep cell"), std::string::npos);
+  // Plain-message constructor stays kGeneric (DCT_CHECK's path).
+  EXPECT_EQ(Error("x").code(), Error::Code::kGeneric);
+  EXPECT_STREQ(to_string(Error::Code::kDeadlineExceeded),
+               "deadline-exceeded");
+}
+
+TEST(Cancel, InertTokenNeverExpires) {
+  const support::CancelToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.expired());
+  EXPECT_NO_THROW(t.check("anywhere"));
+}
+
+TEST(Cancel, ExplicitCancelAndDeadline) {
+  const support::CancelToken t = support::CancelToken::make();
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.expired());
+  t.cancel();
+  EXPECT_TRUE(t.expired());
+  EXPECT_EQ(t.reason(), Error::Code::kCancelled);
+  try {
+    t.check("unit test");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Error::Code::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("unit test"), std::string::npos);
+  }
+
+  const support::CancelToken d = support::CancelToken::with_deadline_ms(0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.reason(), Error::Code::kDeadlineExceeded);
+}
+
+TEST(Parallel, CollectReportsEveryFailingIndex) {
+  // parallel_for rethrows only the lowest failing index; the collect
+  // variant must report them all — the sweep's failure table depends on
+  // it.
+  for (int threads : {1, 4}) {
+    const support::ParallelOutcome out = support::parallel_for_collect(
+        10, threads, [](int i) {
+          if (i % 3 == 0) throw Error(strf("fail %d", i));
+        });
+    EXPECT_FALSE(out.all_ok());
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(out.started[static_cast<size_t>(i)]);
+      EXPECT_EQ(out.errors[static_cast<size_t>(i)] != nullptr, i % 3 == 0)
+          << i;
+    }
+    ASSERT_NE(out.first_error(), nullptr);
+    try {
+      std::rethrow_exception(out.first_error());
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "fail 0");  // lowest index wins
+    }
+  }
+}
+
+TEST(Parallel, RethrowsLowestIndexForDirectCallers) {
+  try {
+    support::parallel_for(8, 4, [](int i) {
+      if (i >= 2) throw Error(strf("fail %d", i));
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "fail 2");
+  }
+}
+
+TEST(Parallel, CancelledTokenStopsDispatch) {
+  // Pre-cancelled token: no index is dispatched at all.
+  for (int threads : {1, 4}) {
+    const support::CancelToken t = support::CancelToken::make();
+    t.cancel();
+    std::atomic<int> ran{0};
+    const support::ParallelOutcome out = support::parallel_for_collect(
+        100, threads, [&](int) { ++ran; }, t);
+    EXPECT_FALSE(out.all_ok());
+    EXPECT_EQ(ran.load(), 0);
+    for (char s : out.started) EXPECT_FALSE(s);
+  }
+
+  // Mid-run cancellation (serial, so the cut point is deterministic):
+  // indices after the trip are drained and marked unstarted.
+  const support::CancelToken t = support::CancelToken::make();
+  std::atomic<int> ran{0};
+  const support::ParallelOutcome out = support::parallel_for_collect(
+      100, 1,
+      [&](int i) {
+        ++ran;
+        if (i == 0) t.cancel();
+      },
+      t);
+  EXPECT_FALSE(out.all_ok());
+  EXPECT_EQ(ran.load(), 1);
+  for (size_t i = 1; i < out.started.size(); ++i)
+    EXPECT_FALSE(out.started[i]);
 }
 
 TEST(Rng, InclusiveBoundsAndNegatives) {
