@@ -83,6 +83,14 @@ std::string address(const CompiledProgram& cp, const CompiledRef& ref,
   return os.str();
 }
 
+/// This processor's coordinate along the fold's grid dimension — the
+/// symbolic form of core::CoordFold::digit_of(myid).
+std::string digit_expr(const CoordFold& f, int total_procs) {
+  if (f.stride == 1 && f.procs == total_procs) return "myid";
+  if (f.stride == 1) return strf("myid%%%d", f.procs);
+  return strf("(myid/%d)%%%d", f.stride, f.procs);
+}
+
 std::string ref_text(const CompiledProgram& cp, const CompiledRef& ref,
                      int depth) {
   const auto& decl = cp.program.arrays[static_cast<size_t>(ref.array)];
@@ -135,21 +143,51 @@ std::string emit_nest(const CompiledProgram& cp, int nest_index) {
                            loop_var(l).c_str(), hi.c_str(),
                            loop_var(l).c_str());
     } else if (f->kind == DistKind::Cyclic) {
+      // Owned iterations satisfy i ≡ offset + digit (mod procs).
+      const std::string digit = digit_expr(*f, cp.procs);
+      const std::string residue =
+          f->offset == 0
+              ? digit
+              : strf("(%s + %lld)%%%d", digit.c_str(),
+                     static_cast<long long>(f->offset), f->procs);
       os << indent
-         << strf("for (%s = max(%s, first_ge(%s, myid%%%d)); %s <= %s; "
+         << strf("for (%s = max(%s, first_ge(%s, %s)); %s <= %s; "
                  "%s += %d) {  /* CYCLIC over %d procs */\n",
-                 loop_var(l).c_str(), lo.c_str(), lo.c_str(), f->procs,
+                 loop_var(l).c_str(), lo.c_str(), lo.c_str(), residue.c_str(),
                  loop_var(l).c_str(), hi.c_str(), loop_var(l).c_str(),
                  f->procs, f->procs);
-    } else {
+    } else if (f->kind == DistKind::BlockCyclic) {
+      // Blocks of B iterations dealt round-robin: the owner filter form,
+      // matching the native backend's block-run walk.
+      const std::string digit = digit_expr(*f, cp.procs);
+      const long long B = static_cast<long long>(std::max<linalg::Int>(
+          1, f->block));
+      std::string idx = loop_var(l);
+      if (f->offset != 0)
+        idx = strf("(%s - %lld)", idx.c_str(),
+                   static_cast<long long>(f->offset));
       os << indent
-         << strf("for (%s = max(%s, %lld*myid); %s <= min(%s, %lld*myid + "
-                 "%lld); %s++) {  /* BLOCK over %d procs */\n",
-                 loop_var(l).c_str(), lo.c_str(),
-                 static_cast<long long>(f->block), loop_var(l).c_str(),
-                 hi.c_str(), static_cast<long long>(f->block),
-                 static_cast<long long>(f->block - 1), loop_var(l).c_str(),
-                 f->procs);
+         << strf("for (%s = %s; %s <= %s; %s++) if ((%s/%lld)%%%d == %s) {"
+                 "  /* BLOCK-CYCLIC(%lld) over %d procs */\n",
+                 loop_var(l).c_str(), lo.c_str(), loop_var(l).c_str(),
+                 hi.c_str(), loop_var(l).c_str(), idx.c_str(), B, f->procs,
+                 digit.c_str(), B, f->procs);
+    } else {
+      // Per-thread bounds mirror core::CoordFold::block_lo/block_hi:
+      // [offset + digit*B, offset + (digit+1)*B - 1] clipped to the loop.
+      std::string digit = digit_expr(*f, cp.procs);
+      if (digit != "myid") digit = "(" + digit + ")";
+      const long long B = static_cast<long long>(std::max<linalg::Int>(
+          1, f->block));
+      std::string base = strf("%lld*%s", B, digit.c_str());
+      if (f->offset != 0)
+        base += strf(" + %lld", static_cast<long long>(f->offset));
+      os << indent
+         << strf("for (%s = max(%s, %s); %s <= min(%s, %s + %lld); %s++) {"
+                 "  /* BLOCK over %d procs */\n",
+                 loop_var(l).c_str(), lo.c_str(), base.c_str(),
+                 loop_var(l).c_str(), hi.c_str(), base.c_str(), B - 1,
+                 loop_var(l).c_str(), f->procs);
     }
   }
 

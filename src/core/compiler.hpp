@@ -12,6 +12,7 @@
 //                   "comp decomp + data transform").
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "decomp/decomposition.hpp"
@@ -38,6 +39,22 @@ struct CoordFold {
   /// below the offset) maps into [0, procs) — BLOCK clamps, CYCLIC and
   /// BLOCK-CYCLIC wrap with floored division semantics.
   int fold(Int v) const;
+
+  /// Digit of this fold encoded in physical rank `myid` (mixed-radix
+  /// decode; the inverse of the `digit * stride` contribution to the
+  /// owner sum).
+  int digit_of(int myid) const { return (myid / stride) % procs; }
+
+  /// First value whose unclamped BLOCK / BLOCK-CYCLIC block index is t.
+  /// With block_hi these are the per-thread loop bounds the paper's
+  /// generated SPMD code computes from myid (Section 3.3).
+  Int block_lo(int t) const {
+    return offset + static_cast<Int>(t) * std::max<Int>(1, block);
+  }
+  /// Last value in block t (inclusive).
+  Int block_hi(int t) const { return block_lo(t + 1) - 1; }
+
+  bool operator==(const CoordFold&) const = default;
 };
 
 struct CompiledArray {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dep/dependence.hpp"
+#include "native/plan.hpp"
 #include "support/diagnostics.hpp"
 #include "support/str.hpp"
 #include "verify/oracle.hpp"
@@ -343,7 +344,18 @@ class VerifyPass final : public Pass {
  public:
   std::string name() const override { return "verify"; }
   void run(CompilationState& st, support::RemarkSink& rs) override {
-    const verify::ValidationReport rep = verify::validate_compiled(st.cp);
+    verify::ValidationReport rep = verify::validate_compiled(st.cp);
+    if (verify::native_check_enabled()) {
+      rep.oracles.push_back(verify::check_native(st.cp));
+      const native::ProgramPlan pp = native::plan_program(st.cp);
+      rs.count("native_sequential_nests", pp.sequential_nests);
+      rs.count("native_restricted_nests", pp.restricted_nests);
+      for (size_t j = 0; j < pp.nests.size(); ++j) {
+        support::ScopedSink nest_rs(&rs, static_cast<int>(j),
+                                    st.cp.program.nests[j].name);
+        nest_rs.note("native plan: " + pp.nests[j].why);
+      }
+    }
     rs.count("oracle_checks", rep.total_checks());
     for (const verify::OracleReport& o : rep.oracles) {
       rs.count(("checks_" + o.oracle).c_str(), o.checks);

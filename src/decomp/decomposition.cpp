@@ -722,8 +722,13 @@ void eliminate_barriers(ProgramDecomposition& d, support::RemarkSink* rs) {
     const int next = (j + 1) % nnests;
     const NestDecomposition& a = d.nests[static_cast<size_t>(j)];
     const NestDecomposition& b = d.nests[static_cast<size_t>(next)];
-    if (a.comm_free && b.comm_free && b.boundary_free && all_doall(a) &&
-        all_doall(b)) {
+    // Both directions must be free of cross-processor data flow: b's
+    // boundary reads could consume data a wrote (flow), and a's boundary
+    // reads consume other owners' data that b may overwrite (anti). The
+    // simulator's timing model tolerates a missing barrier either way;
+    // real threads do not.
+    if (a.comm_free && b.comm_free && a.boundary_free && b.boundary_free &&
+        all_doall(a) && all_doall(b)) {
       d.nests[static_cast<size_t>(j)].barrier_after = false;
       if (rs != nullptr) {
         support::ScopedSink nest_rs(rs, j, {});

@@ -379,6 +379,88 @@ void canonicalize(Vec& delta) {
   }
 }
 
+/// One reference of a statement, with the statement's effective depth.
+struct Access {
+  const ArrayRef* ref;
+  bool is_write;
+  int depth;
+};
+
+/// Canonical direction vectors of a given length, all-EQ first, then the
+/// carried shapes EQ^l LT {EQ,LT,GT}^(len-l-1) (first non-EQ is LT).
+std::vector<std::vector<Dir>> canonical_vectors(int len) {
+  std::vector<std::vector<Dir>> out;
+  out.emplace_back(static_cast<size_t>(len), Dir::EQ);  // loop-independent
+  for (int l = 0; l < len; ++l) {
+    std::vector<Dir> prefix(static_cast<size_t>(l), Dir::EQ);
+    prefix.push_back(Dir::LT);
+    const int tail = len - l - 1;
+    int total = 1;
+    for (int t = 0; t < tail; ++t) total *= 3;
+    for (int mask = 0; mask < total; ++mask) {
+      std::vector<Dir> vec = prefix;
+      int m = mask;
+      for (int t = 0; t < tail; ++t) {
+        vec.push_back(static_cast<Dir>(m % 3));
+        m /= 3;
+      }
+      out.push_back(std::move(vec));
+    }
+  }
+  return out;
+}
+
+/// Collect the dependence vectors between one access pair into `add`.
+/// Vectors are length-d (extended with EQ past the common loops) and
+/// canonicalized for uniformly generated full-depth pairs. All-EQ
+/// (loop-independent) vectors are reported only when
+/// `keep_loop_independent`; callers drop them for nest-level summaries.
+template <typename Add>
+void vectors_for_pair(const LoopNest& nest, const Hull& hull, int d,
+                      const std::vector<std::vector<std::vector<Dir>>>& canon,
+                      const Access& a1, const Access& a2,
+                      bool keep_loop_independent, Add&& add) {
+  if (!a1.is_write && !a2.is_write) return;
+  if (a1.ref->array != a2.ref->array) return;
+  const int common = std::min(a1.depth, a2.depth);
+  // Uniformly generated full-depth pair: exact distance.
+  if (a1.depth == d && a2.depth == d) {
+    bool unique = false;
+    const auto delta = uniform_distance(*a1.ref, *a2.ref, unique);
+    if (unique) {
+      if (!delta.has_value()) return;  // proven independent
+      Vec dv = *delta;
+      if (!distance_in_hull(dv, hull)) return;
+      canonicalize(dv);
+      DepVector v;
+      v.dirs.reserve(static_cast<size_t>(d));
+      v.dist.reserve(static_cast<size_t>(d));
+      for (Int x : dv) {
+        v.dirs.push_back(x == 0 ? Dir::EQ : x > 0 ? Dir::LT : Dir::GT);
+        v.dist.push_back(x);
+      }
+      if (keep_loop_independent || !v.loop_independent()) add(std::move(v));
+      return;
+    }
+  }
+  // General pair: hierarchical direction-vector testing over the loops
+  // common to both statements.
+  for (const auto& dirs : canon[static_cast<size_t>(common)]) {
+    const bool all_eq = std::all_of(dirs.begin(), dirs.end(),
+                                    [](Dir x) { return x == Dir::EQ; });
+    if (all_eq && !keep_loop_independent) continue;
+    if (!direction_feasible(nest, *a1.ref, *a2.ref, hull, dirs)) continue;
+    DepVector v;
+    v.dirs = dirs;
+    v.dirs.resize(static_cast<size_t>(d), Dir::EQ);
+    v.dist.assign(static_cast<size_t>(d), std::nullopt);
+    for (int k = 0; k < d; ++k)
+      if (v.dirs[static_cast<size_t>(k)] == Dir::EQ)
+        v.dist[static_cast<size_t>(k)] = 0;
+    add(std::move(v));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -393,11 +475,6 @@ NestDeps analyze(const LoopNest& nest) {
   if (hull.empty || d == 0) return out;
 
   // Collect (ref, is_write, stmt depth) tuples.
-  struct Access {
-    const ArrayRef* ref;
-    bool is_write;
-    int depth;
-  };
   std::vector<Access> accesses;
   for (const ir::Stmt& s : nest.stmts) {
     const int sd = s.effective_depth(d);
@@ -406,84 +483,67 @@ NestDeps analyze(const LoopNest& nest) {
   }
 
   auto add_vector = [&](DepVector v) {
-    if (v.loop_independent()) return;
     if (std::find(out.vectors.begin(), out.vectors.end(), v) ==
         out.vectors.end())
       out.vectors.push_back(std::move(v));
   };
 
-  // Canonical direction vectors of a given length (first non-EQ is LT):
-  // EQ^l LT {EQ,LT,GT}^(len-l-1). All-EQ vectors are loop-independent and
-  // skipped.
-  auto canonical_vectors = [](int len) {
-    std::vector<std::vector<Dir>> out;
-    for (int l = 0; l < len; ++l) {
-      std::vector<Dir> prefix(static_cast<size_t>(l), Dir::EQ);
-      prefix.push_back(Dir::LT);
-      const int tail = len - l - 1;
-      int total = 1;
-      for (int t = 0; t < tail; ++t) total *= 3;
-      for (int mask = 0; mask < total; ++mask) {
-        std::vector<Dir> vec = prefix;
-        int m = mask;
-        for (int t = 0; t < tail; ++t) {
-          vec.push_back(static_cast<Dir>(m % 3));
-          m /= 3;
-        }
-        out.push_back(std::move(vec));
-      }
-    }
-    return out;
-  };
   std::vector<std::vector<std::vector<Dir>>> canon_by_len(
       static_cast<size_t>(d) + 1);
   for (int len = 0; len <= d; ++len)
     canon_by_len[static_cast<size_t>(len)] = canonical_vectors(len);
 
-  for (const Access& a1 : accesses) {
-    for (const Access& a2 : accesses) {
-      if (!a1.is_write && !a2.is_write) continue;
-      if (a1.ref->array != a2.ref->array) continue;
-      const int common = std::min(a1.depth, a2.depth);
-      // Uniformly generated full-depth pair: exact distance.
-      if (a1.depth == d && a2.depth == d) {
-        bool unique = false;
-        const auto delta = uniform_distance(*a1.ref, *a2.ref, unique);
-        if (unique) {
-          if (!delta.has_value()) continue;  // proven independent
-          Vec dv = *delta;
-          if (!distance_in_hull(dv, hull)) continue;
-          canonicalize(dv);
-          DepVector v;
-          v.dirs.reserve(static_cast<size_t>(d));
-          v.dist.reserve(static_cast<size_t>(d));
-          for (Int x : dv) {
-            v.dirs.push_back(x == 0 ? Dir::EQ : x > 0 ? Dir::LT : Dir::GT);
-            v.dist.push_back(x);
-          }
-          add_vector(std::move(v));
-          continue;
-        }
-      }
-      // General pair: hierarchical direction-vector testing over the loops
-      // common to both statements.
-      for (const auto& dirs : canon_by_len[static_cast<size_t>(common)]) {
-        if (!direction_feasible(nest, *a1.ref, *a2.ref, hull, dirs)) continue;
-        DepVector v;
-        v.dirs = dirs;
-        v.dirs.resize(static_cast<size_t>(d), Dir::EQ);
-        v.dist.assign(static_cast<size_t>(d), std::nullopt);
-        for (int k = 0; k < d; ++k)
-          if (v.dirs[static_cast<size_t>(k)] == Dir::EQ)
-            v.dist[static_cast<size_t>(k)] = 0;
-        add_vector(std::move(v));
-      }
-    }
-  }
+  for (const Access& a1 : accesses)
+    for (const Access& a2 : accesses)
+      vectors_for_pair(nest, hull, d, canon_by_len, a1, a2,
+                       /*keep_loop_independent=*/false, add_vector);
 
   for (const DepVector& v : out.vectors) {
     const int l = v.carrier_level();
     if (l >= 0) out.carried[static_cast<size_t>(l)] = true;
+  }
+  return out;
+}
+
+std::vector<PairDeps> analyze_pairs(const LoopNest& nest) {
+  std::vector<PairDeps> out;
+  const int d = nest.depth();
+  const Hull hull = iteration_hull(nest);
+  if (hull.empty || d == 0) return out;
+
+  const int nstmts = static_cast<int>(nest.stmts.size());
+  std::vector<std::vector<Access>> by_stmt(static_cast<size_t>(nstmts));
+  for (int si = 0; si < nstmts; ++si) {
+    const ir::Stmt& s = nest.stmts[static_cast<size_t>(si)];
+    const int sd = s.effective_depth(d);
+    for (const ArrayRef& r : s.reads)
+      by_stmt[static_cast<size_t>(si)].push_back({&r, false, sd});
+    if (s.write) by_stmt[static_cast<size_t>(si)].push_back({&*s.write, true, sd});
+  }
+
+  std::vector<std::vector<std::vector<Dir>>> canon_by_len(
+      static_cast<size_t>(d) + 1);
+  for (int len = 0; len <= d; ++len)
+    canon_by_len[static_cast<size_t>(len)] = canonical_vectors(len);
+
+  for (int si = 0; si < nstmts; ++si) {
+    for (int sj = 0; sj < nstmts; ++sj) {
+      PairDeps pd;
+      pd.src_stmt = si;
+      pd.dst_stmt = sj;
+      auto add = [&](DepVector v) {
+        if (std::find(pd.vectors.begin(), pd.vectors.end(), v) ==
+            pd.vectors.end())
+          pd.vectors.push_back(std::move(v));
+      };
+      // A statement instance executes atomically, so a same-iteration
+      // "dependence" of a statement on itself orders nothing.
+      const bool keep_li = si != sj;
+      for (const Access& a1 : by_stmt[static_cast<size_t>(si)])
+        for (const Access& a2 : by_stmt[static_cast<size_t>(sj)])
+          vectors_for_pair(nest, hull, d, canon_by_len, a1, a2, keep_li, add);
+      if (!pd.vectors.empty()) out.push_back(std::move(pd));
+    }
   }
   return out;
 }

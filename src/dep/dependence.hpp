@@ -55,6 +55,21 @@ struct NestDeps {
 
 NestDeps analyze(const ir::LoopNest& nest);
 
+/// Dependence vectors between one ordered statement pair of a nest.
+/// Unlike NestDeps, the vectors keep their statement attribution and
+/// include loop-independent (all-EQ) vectors between distinct statements —
+/// the information a scheduler needs to decide whether two statements may
+/// run on different processors within the same iteration. Self-pairs
+/// (src == dst) report carried vectors only: a statement instance executes
+/// atomically.
+struct PairDeps {
+  int src_stmt = 0;  ///< index into nest.stmts
+  int dst_stmt = 0;
+  std::vector<DepVector> vectors;  ///< deduplicated, never empty
+};
+
+std::vector<PairDeps> analyze_pairs(const ir::LoopNest& nest);
+
 /// Brute-force oracle for tests: enumerate all iteration pairs of a small
 /// nest and report the exact set of carried levels.
 std::vector<bool> carried_levels_bruteforce(const ir::LoopNest& nest);

@@ -14,6 +14,15 @@ using decomp::DistKind;
 
 namespace {
 
+/// Malformed-directive failure: a structured kInvalidArgument error whose
+/// context chain carries the source line, so the experiment harness (and
+/// tests) can attribute the failure without parsing the message.
+[[noreturn]] void parse_fail(int lineno, const std::string& msg) {
+  Error e(Error::Code::kInvalidArgument, msg);
+  e.with_context(strf("hpf line %d", lineno));
+  throw e;
+}
+
 /// Tiny recursive-descent tokenizer over one directive line.
 class Cursor {
  public:
@@ -37,8 +46,9 @@ class Cursor {
     return false;
   }
   void expect(char c) {
-    DCT_CHECK(eat(c), strf("HPF line %d: expected '%c' near position %zu",
-                           lineno_, c, pos_));
+    if (!eat(c))
+      parse_fail(lineno_,
+                 strf("expected '%c' near position %zu", c, pos_));
   }
   std::string ident() {
     skip_ws();
@@ -47,7 +57,7 @@ class Cursor {
            (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
             s_[pos_] == '_'))
       ++pos_;
-    DCT_CHECK(pos_ > start, strf("HPF line %d: identifier expected", lineno_));
+    if (pos_ == start) parse_fail(lineno_, "identifier expected");
     std::string out = s_.substr(start, pos_ - start);
     std::transform(out.begin(), out.end(), out.begin(), ::toupper);
     return out;
@@ -58,8 +68,14 @@ class Cursor {
     if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
     while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
       ++pos_;
-    DCT_CHECK(pos_ > start, strf("HPF line %d: number expected", lineno_));
-    return std::stol(s_.substr(start, pos_ - start));
+    if (pos_ == start ||
+        !std::isdigit(static_cast<unsigned char>(s_[pos_ - 1])))
+      parse_fail(lineno_, "number expected");
+    try {
+      return std::stol(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      parse_fail(lineno_, "number out of range");
+    }
   }
   bool peek_alpha() {
     skip_ws();
@@ -105,15 +121,18 @@ std::vector<DimDistribution> parse_dist_format(Cursor& c) {
         d.kind = DistKind::Cyclic;
         if (c.eat('(')) {
           d.block = c.number();
-          DCT_CHECK(d.block >= 1,
-                    strf("HPF line %d: CYCLIC block must be positive",
-                         c.lineno()));
+          if (d.block < 1)
+            parse_fail(c.lineno(),
+                       strf("CYCLIC block must be positive, got %lld",
+                            static_cast<long long>(d.block)));
           if (d.block > 1) d.kind = DistKind::BlockCyclic;
           c.expect(')');
         }
       } else {
-        DCT_CHECK(false, strf("HPF line %d: unknown distribution '%s'",
-                              c.lineno(), kw.c_str()));
+        parse_fail(c.lineno(),
+                   strf("unknown distribution '%s' (expected BLOCK, "
+                        "CYCLIC or *)",
+                        kw.c_str()));
       }
     }
     dims.push_back(d);
@@ -126,9 +145,14 @@ std::vector<DimDistribution> parse_dist_format(Cursor& c) {
 }  // namespace
 
 Directives parse(const ir::Program& prog, const std::string& text) {
+  struct PendingAlign {
+    std::string array;
+    Alignment al;
+    int lineno = 0;
+  };
   std::map<std::string, Template> templates;
   std::map<std::string, std::vector<DimDistribution>> direct;  // array name
-  std::vector<std::pair<std::string, Alignment>> aligns;       // array name
+  std::vector<PendingAlign> aligns;
 
   auto array_rank = [&](const std::string& name) -> int {
     for (const auto& a : prog.arrays) {
@@ -172,23 +196,28 @@ Directives parse(const ir::Program& prog, const std::string& text) {
       const std::string name = c.ident();
       auto dims = parse_dist_format(c);
       if (auto it = templates.find(name); it != templates.end()) {
-        DCT_CHECK(static_cast<int>(dims.size()) == it->second.rank,
-                  strf("HPF line %d: template %s rank mismatch", lineno,
-                       name.c_str()));
+        if (static_cast<int>(dims.size()) != it->second.rank)
+          parse_fail(lineno,
+                     strf("template %s has rank %d but DISTRIBUTE names %zu "
+                          "dimensions",
+                          name.c_str(), it->second.rank, dims.size()));
         it->second.dist = std::move(dims);
       } else {
         const int rank = array_rank(name);
-        DCT_CHECK(rank >= 0, strf("HPF line %d: unknown array or template %s",
-                                  lineno, name.c_str()));
-        DCT_CHECK(static_cast<int>(dims.size()) == rank,
-                  strf("HPF line %d: array %s rank mismatch", lineno,
-                       name.c_str()));
+        if (rank < 0)
+          parse_fail(lineno, strf("unknown array or template %s",
+                                  name.c_str()));
+        if (static_cast<int>(dims.size()) != rank)
+          parse_fail(lineno,
+                     strf("array %s has rank %d but DISTRIBUTE names %zu "
+                          "dimensions",
+                          name.c_str(), rank, dims.size()));
         direct[name] = std::move(dims);
       }
     } else if (kw == "ALIGN") {
       const std::string array = c.ident();
-      DCT_CHECK(array_rank(array) >= 0,
-                strf("HPF line %d: unknown array %s", lineno, array.c_str()));
+      if (array_rank(array) < 0)
+        parse_fail(lineno, strf("unknown array %s", array.c_str()));
       // Dummy variables of the array side.
       std::vector<std::string> dummies;
       c.expect('(');
@@ -197,8 +226,7 @@ Directives parse(const ir::Program& prog, const std::string& text) {
         if (c.eat(')')) break;
         c.expect(',');
       }
-      DCT_CHECK(c.ident() == "WITH",
-                strf("HPF line %d: WITH expected", lineno));
+      if (c.ident() != "WITH") parse_fail(lineno, "WITH expected");
       Alignment al;
       al.target = c.ident();
       c.expect('(');
@@ -209,9 +237,9 @@ Directives parse(const ir::Program& prog, const std::string& text) {
         } else if (c.peek_alpha()) {
           const std::string dummy = c.ident();
           const auto it = std::find(dummies.begin(), dummies.end(), dummy);
-          DCT_CHECK(it != dummies.end(),
-                    strf("HPF line %d: unknown align dummy %s", lineno,
-                         dummy.c_str()));
+          if (it == dummies.end())
+            parse_fail(lineno,
+                       strf("unknown align dummy %s", dummy.c_str()));
           src = static_cast<int>(it - dummies.begin());
           // Offsets are ignored (paper 4.2): consume "+ n" / "- n".
           if (c.peek('+') || c.peek('-')) c.number();
@@ -222,10 +250,11 @@ Directives parse(const ir::Program& prog, const std::string& text) {
         if (c.eat(')')) break;
         c.expect(',');
       }
-      aligns.push_back({array, std::move(al)});
+      aligns.push_back({array, std::move(al), lineno});
     } else {
-      DCT_CHECK(false,
-                strf("HPF line %d: unknown directive %s", lineno, kw.c_str()));
+      parse_fail(lineno, strf("unknown directive %s (expected TEMPLATE, "
+                              "DISTRIBUTE or ALIGN)",
+                              kw.c_str()));
     }
   }
 
@@ -259,10 +288,11 @@ Directives parse(const ir::Program& prog, const std::string& text) {
     out.arrays[name] =
         resolve_dims(name, fmt, identity, array_rank(name));
   }
-  for (const auto& [array, al] : aligns) {
+  for (const auto& [array, al, al_line] : aligns) {
     const auto it = templates.find(al.target);
-    DCT_CHECK(it != templates.end() && !it->second.dist.empty(),
-              "ALIGN target " + al.target + " has no DISTRIBUTE");
+    if (it == templates.end() || it->second.dist.empty())
+      parse_fail(al_line,
+                 "ALIGN target " + al.target + " has no DISTRIBUTE");
     out.arrays[array] = resolve_dims(al.target, it->second.dist,
                                      al.array_dim_of_tdim, array_rank(array));
   }

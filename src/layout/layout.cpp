@@ -135,6 +135,11 @@ Int Layout::linearize(std::span<const Int> index) const {
       const DimFn& f = fns_[k];
       Int v = index[static_cast<size_t>(f.src)] / f.div;  // indices >= 0
       if (f.mod != 0) v %= f.mod;
+      // Same bounds contract as the slow path below: an out-of-range
+      // index must fail, not silently wrap into another element (the
+      // truncating div above may also leave v negative for negative
+      // indices, which this catches).
+      DCT_CHECK(v >= 0 && v < dims_[k], "mapped index out of bounds");
       addr += v * stride;
       stride *= dims_[k];
     }
@@ -282,16 +287,22 @@ Layout derive_layout(const ir::ArrayDecl& decl,
 // ---------------------------------------------------------------------------
 
 int Partition::fold(int k, Int idx) const {
+  // Euclidean (floored) semantics, mirroring core::CoordFold::fold: C++
+  // truncating / and % would hand negative indices a negative "owner"
+  // (which aliases the -1 "unbound" marker) and mis-wrap CYCLIC blocks.
   const Dim& d = dims[static_cast<size_t>(k)];
+  const Int block = std::max<Int>(1, d.block);
   switch (d.kind) {
     case decomp::DistKind::Serial:
       return -1;
-    case decomp::DistKind::Block:
-      return static_cast<int>(idx / d.block);
+    case decomp::DistKind::Block: {
+      const Int c = floor_div(idx, block);
+      return static_cast<int>(std::clamp<Int>(c, 0, d.procs - 1));
+    }
     case decomp::DistKind::Cyclic:
-      return static_cast<int>(idx % d.procs);
+      return static_cast<int>(floor_mod(idx, d.procs));
     case decomp::DistKind::BlockCyclic:
-      return static_cast<int>((idx / d.block) % d.procs);
+      return static_cast<int>(floor_mod(floor_div(idx, block), d.procs));
   }
   return -1;
 }

@@ -1,0 +1,61 @@
+// Native threaded SPMD execution of a compiled program.
+//
+// Where runtime::simulate models a DASH-class machine, this backend runs
+// the transformed program for real: one std::thread per compiled
+// processor, arrays allocated in their *transformed* linear layouts,
+// inner loops driven by the same incremental address walkers as the fast
+// simulator engine (constant-add addressing, div/mod only at strip
+// boundaries), owner-computes statement filtering, and std::barrier
+// synchronization placed by the native::plan classification.
+//
+// The backend is an execution tier, not a model: its wall-clock time is
+// the hardware's answer to whether the Section 4 layout transformations
+// pay off outside the simulator's cost model, and its array results are
+// bit-identical to runtime::run_reference by construction (same
+// initialization, same owner-computes schedule, dependence-ordered
+// evaluation).
+//
+// Env knobs (read by callers, not here): DCT_NATIVE enables the native
+// differential check in the verify pass, DCT_NATIVE_THREADS sets the
+// thread count used by tools that compile specifically for this backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "native/plan.hpp"
+
+namespace dct::native {
+
+struct NativeOptions {
+  /// Must equal the compiled processor count: the decomposition's block
+  /// sizes and folds are derived from it at compile time.
+  int threads = 1;
+  std::uint64_t init_seed = 42;
+  bool collect_values = true;
+};
+
+struct NativeResult {
+  /// Final contents of every array in ORIGINAL element order (same
+  /// convention as RunResult::values / run_reference).
+  std::vector<std::vector<double>> values;
+  double seconds = 0;        ///< wall-clock of the threaded region
+  long long statements = 0;  ///< statement instances executed (all threads)
+  long long barriers = 0;    ///< barrier phases per thread
+  int sequential_nests = 0;
+  int parallel_nests = 0;
+  int restricted_nests = 0;
+};
+
+/// Execute the compiled program on `opts.threads` hardware threads using
+/// a precomputed plan. Throws Error(kInvalidArgument) when the thread
+/// count does not match the compiled processor count.
+NativeResult run_native(const core::CompiledProgram& cp,
+                        const ProgramPlan& plan, const NativeOptions& opts);
+
+/// Convenience overload: classifies with plan_program first.
+NativeResult run_native(const core::CompiledProgram& cp,
+                        const NativeOptions& opts);
+
+}  // namespace dct::native

@@ -1,0 +1,136 @@
+#include "native/plan.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "dep/dependence.hpp"
+#include "support/str.hpp"
+
+namespace dct::native {
+
+using core::CompiledNest;
+using core::CompiledStmt;
+using core::CoordFold;
+
+namespace {
+
+NestPlan plan_nest(const CompiledNest& cn, int procs) {
+  NestPlan np;
+  const int d = static_cast<int>(cn.nest.loops.size());
+  if (d == 0 || cn.stmts.empty()) {
+    np.why = "empty";
+    return np;
+  }
+  // The dependence analysis attributes vectors by statement index; that
+  // only maps onto the compiled statements if the lists are parallel.
+  if (cn.nest.stmts.size() != cn.stmts.size()) {
+    np.schedule = NestSchedule::Sequential;
+    np.why = "stmt lists misaligned";
+    return np;
+  }
+
+  auto full = [&](int s) { return cn.stmts[static_cast<size_t>(s)].depth >= d; };
+  const int nstmts = static_cast<int>(cn.stmts.size());
+  for (int s = 0; s < nstmts; ++s)
+    if (!full(s)) np.gate_sync = true;
+
+  // A dependence between two same-owner endpoints is ordered by the
+  // owning thread's walk; owners are provably equal when the statements
+  // share one owner signature and the distance is exactly 0 at every
+  // owner-bound loop.
+  auto same_sig = [&](int s1, int s2) {
+    return cn.stmts[static_cast<size_t>(s1)].owner ==
+           cn.stmts[static_cast<size_t>(s2)].owner;
+  };
+  auto zero_at_owner_loops = [&](int s, const dep::DepVector& v) {
+    for (const auto& [loop, fold] : cn.stmts[static_cast<size_t>(s)].owner) {
+      const auto& dist = v.dist[static_cast<size_t>(loop)];
+      if (!dist.has_value() || *dist != 0) return false;
+    }
+    return true;
+  };
+
+  int bl = -1;
+  for (const dep::PairDeps& pd : dep::analyze_pairs(cn.nest)) {
+    for (const dep::DepVector& v : pd.vectors) {
+      // Any dependence with a gated endpoint is ordered by the barriers
+      // bracketing the gated statement's firing point, in both directions.
+      if (!full(pd.src_stmt) || !full(pd.dst_stmt)) continue;
+      if (same_sig(pd.src_stmt, pd.dst_stmt) &&
+          zero_at_owner_loops(pd.src_stmt, v))
+        continue;  // both endpoints on the owning thread, walk order
+      if (v.loop_independent()) {
+        // Same iteration, different owners: only per-statement barriers
+        // could order it — run the nest on one thread instead.
+        np.schedule = NestSchedule::Sequential;
+        np.why = strf("loop-independent dependence %d->%d across owners",
+                      pd.src_stmt, pd.dst_stmt);
+        return np;
+      }
+      bl = std::max(bl, v.carrier_level());
+    }
+  }
+  if (bl >= d - 1) {
+    // A barrier per innermost iteration is slower than not threading.
+    np.schedule = NestSchedule::Sequential;
+    np.why = strf("dependence carried by the innermost loop (level %d)", bl);
+    return np;
+  }
+  np.barrier_level = bl;
+
+  // Restriction: prune the walk at one owner-bound level when every
+  // statement is full-depth with the same single-fold-per-level owner
+  // signature. Gated statements keep the full walk (their firing points
+  // must be reached by every thread), and the restricted level must be
+  // deeper than every barrier level so barrier counts stay uniform.
+  if (!np.gate_sync) {
+    bool uniform = true;
+    for (int s = 1; s < nstmts && uniform; ++s) uniform = same_sig(0, s);
+    const auto& sig = cn.stmts[0].owner;
+    std::set<int> levels;
+    for (const auto& [loop, fold] : sig)
+      if (!levels.insert(loop).second) uniform = false;
+    // A clamped owner sum (digits adding past procs-1) hands the top
+    // thread iterations outside its own digit range; restriction would
+    // skip them, so it is only legal when the sum cannot overflow.
+    int max_q = 0;
+    for (const auto& [loop, fold] : sig)
+      max_q += (fold.procs - 1) * fold.stride;
+    if (uniform && !sig.empty() && max_q <= procs - 1) {
+      for (const auto& [loop, fold] : sig) {
+        // A single-processor fold owns the whole range: restricting it
+        // prunes nothing.
+        if (loop <= bl || fold.kind == decomp::DistKind::Serial ||
+            fold.procs <= 1)
+          continue;
+        np.restrictions.push_back({loop, fold});
+      }
+      std::sort(np.restrictions.begin(), np.restrictions.end(),
+                [](const NestRestriction& a, const NestRestriction& b) {
+                  return a.level < b.level;
+                });
+    }
+  }
+  std::string levels;
+  for (const NestRestriction& r : np.restrictions)
+    levels += strf("%s%d", levels.empty() ? "" : ",", r.level);
+  np.why = strf("parallel: barrier_level=%d gate_sync=%d restrict=[%s]",
+                np.barrier_level, np.gate_sync ? 1 : 0, levels.c_str());
+  return np;
+}
+
+}  // namespace
+
+ProgramPlan plan_program(const core::CompiledProgram& cp) {
+  ProgramPlan pp;
+  pp.nests.reserve(cp.nests.size());
+  for (const CompiledNest& cn : cp.nests) {
+    pp.nests.push_back(plan_nest(cn, cp.procs));
+    if (pp.nests.back().schedule == NestSchedule::Sequential)
+      ++pp.sequential_nests;
+    if (!pp.nests.back().restrictions.empty()) ++pp.restricted_nests;
+  }
+  return pp;
+}
+
+}  // namespace dct::native

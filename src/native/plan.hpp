@@ -1,0 +1,79 @@
+// Scheduling plan for the native threaded SPMD backend.
+//
+// The simulator can interleave processors freely because it executes
+// sequentially; real threads cannot. This layer classifies every compiled
+// nest into a synchronization shape that makes the lockstep SPMD walk
+// race-free:
+//
+//  * barrier_level BL — a barrier after every iteration of loop BL orders
+//    all dependences carried at levels <= BL across threads (the classic
+//    "synchronize the outer sequential loop" schedule, e.g. LU's k loop);
+//  * gate barriers — gated statements (depth < nest depth, the paper's
+//    imperfect nests: pivot rows, reduction epilogues) execute bracketed
+//    by barriers at their firing points, which orders every dependence
+//    with a gated endpoint in both directions;
+//  * Sequential — thread 0 runs the whole nest between barriers whenever
+//    per-iteration synchronization would be needed (loop-independent
+//    dependences between statements with different owner signatures, or a
+//    dependence carried by the innermost loop).
+//
+// Dependences between statements owned by the same processor for both
+// endpoints need no synchronization: the owning thread executes them in
+// walk order, which is sequential order. That is why the classification
+// needs statement-attributed vectors (dep::analyze_pairs) — the nest-level
+// summary cannot tell a self-dependence ordered by ownership from a
+// cross-statement race.
+//
+// Independently of synchronization, a nest may be *restricted*: each
+// thread walks only its own iterations of one decomposed loop (BLOCK
+// bounds / CYCLIC strides over myid, from CoordFold::block_lo/digit_of)
+// instead of filtering the full space. Restriction is a pruning
+// optimization only — the owner filter stays on — and is legal when every
+// statement is full-depth with one identical owner signature and the
+// restricted level is deeper than every barrier level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+
+namespace dct::native {
+
+using linalg::Int;
+
+enum class NestSchedule { Parallel, Sequential };
+
+/// One loop level each thread walks restricted to its own iterations
+/// (BLOCK bounds / CYCLIC strides over its grid digit).
+struct NestRestriction {
+  int level = -1;
+  core::CoordFold fold;  ///< identical across the nest's statements
+};
+
+struct NestPlan {
+  NestSchedule schedule = NestSchedule::Parallel;
+  /// Barrier after each iteration of this loop level; -1 = none needed.
+  int barrier_level = -1;
+  /// Bracket gated-statement firings with barriers.
+  bool gate_sync = false;
+  /// Every owner-bound level the walk can prune (empty = full walk +
+  /// owner filter). All levels are deeper than barrier_level so barrier
+  /// counts stay uniform across threads.
+  std::vector<NestRestriction> restrictions;
+  /// Classification rationale (for remarks and tests).
+  std::string why;
+};
+
+struct ProgramPlan {
+  std::vector<NestPlan> nests;
+  int sequential_nests = 0;
+  int restricted_nests = 0;
+};
+
+/// Classify every nest of the compiled program. Pure analysis: safe to
+/// call on any CompiledProgram, never fails (unanalyzable shapes fall
+/// back to Sequential).
+ProgramPlan plan_program(const core::CompiledProgram& cp);
+
+}  // namespace dct::native

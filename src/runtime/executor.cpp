@@ -15,15 +15,13 @@ using core::CompiledProgram;
 using core::CompiledRef;
 using core::CompiledStmt;
 
-namespace {
-
-/// Deterministic initial value of one array element, identical across
-/// layouts and modes (keyed by the element's ORIGINAL linear index).
 double init_value(std::uint64_t seed, int array, Int orig_linear) {
   Rng rng(seed ^ (static_cast<std::uint64_t>(array + 1) << 40) ^
           static_cast<std::uint64_t>(orig_linear));
   return 1.0 + rng.uniform01();  // in [1, 2): safe divisor
 }
+
+namespace {
 
 /// Walk an array's original index space in linear (column-major) order.
 template <typename Fn>

@@ -90,4 +90,10 @@ RunResult simulate(const core::CompiledProgram& cp,
 std::vector<std::vector<double>> run_reference(const ir::Program& prog,
                                                std::uint64_t init_seed = 42);
 
+/// Deterministic initial value of one array element, identical across
+/// layouts, modes and engines (keyed by the element's ORIGINAL linear
+/// index). Shared by the simulator, the reference and the native backend
+/// so their results are bit-comparable.
+double init_value(std::uint64_t seed, int array, Int orig_linear);
+
 }  // namespace dct::runtime

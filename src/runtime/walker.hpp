@@ -50,24 +50,19 @@ class RefWalker {
     addr_ += inner_delta_;
     for (DimState& d : active_) {
       d.rem += d.c;
-      while (d.rem >= d.div) {
-        d.rem -= d.div;
-        ++d.v;
-        addr_ += d.stride;
-        if (d.mod != 0 && d.v == d.mod) {
-          d.v = 0;
-          addr_ -= d.mod * d.stride;
-        }
-      }
-      while (d.rem < 0) {
-        d.rem += d.div;
-        --d.v;
-        addr_ -= d.stride;
-        if (d.mod != 0 && d.v < 0) {
-          d.v = d.mod - 1;
-          addr_ += d.mod * d.stride;
-        }
-      }
+      settle(d);
+    }
+  }
+
+  /// Advance the innermost loop coordinate by `n` steps at once (CYCLIC
+  /// per-thread strides, jumps between owned BLOCK-CYCLIC runs). The wrap
+  /// loops run once per strip boundary crossed, so a jump costs the same
+  /// boundary work the skipped iterations would have.
+  void step_n(Int n) {
+    addr_ += inner_delta_ * n;
+    for (DimState& d : active_) {
+      d.rem += d.c * n;
+      settle(d);
     }
   }
 
@@ -82,6 +77,29 @@ class RefWalker {
     Int rem = 0;     ///< s mod div, kept in [0, div)
     Int v = 0;       ///< current dimension value
   };
+  /// Carry strip-counter overflow/underflow into the address after an
+  /// increment of d.rem (any magnitude).
+  void settle(DimState& d) {
+    while (d.rem >= d.div) {
+      d.rem -= d.div;
+      ++d.v;
+      addr_ += d.stride;
+      if (d.mod != 0 && d.v == d.mod) {
+        d.v = 0;
+        addr_ -= d.mod * d.stride;
+      }
+    }
+    while (d.rem < 0) {
+      d.rem += d.div;
+      --d.v;
+      addr_ -= d.stride;
+      if (d.mod != 0 && d.v < 0) {
+        d.v = d.mod - 1;
+        addr_ += d.mod * d.stride;
+      }
+    }
+  }
+
   /// Everything needed to (re)initialize one restructured dimension.
   struct InitDim {
     int src = 0;  ///< subscript row the dimension reads

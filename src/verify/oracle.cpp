@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "dep/dependence.hpp"
+#include "native/native.hpp"
 #include "runtime/executor.hpp"
 #include "support/diagnostics.hpp"
 #include "support/env.hpp"
@@ -182,8 +183,17 @@ void check_layout_against(const ir::ArrayDecl& decl,
 
   auto check_index = [&](std::span<const Int> idx,
                          std::unordered_set<Int>* seen) {
-    const Int lin = layout.linearize(idx);
     ++rep.checks;
+    Int lin = -1;
+    try {
+      lin = layout.linearize(idx);
+    } catch (const Error& e) {
+      // linearize bounds-checks on both paths now: a declared index the
+      // layout rejects means the layout does not cover the array.
+      add_violation(rep, decl.name + ": linearize rejected declared index: " +
+                             e.what());
+      return;
+    }
     if (lin < 0 || lin >= total) {
       add_violation(rep, strf("%s: linearize out of range: %lld not in "
                               "[0, %lld)",
@@ -456,6 +466,48 @@ OracleReport check_differential(const core::CompiledProgram& cp,
   return rep;
 }
 
+OracleReport check_native(const core::CompiledProgram& cp,
+                          const OracleOptions& opts) {
+  (void)opts;
+  OracleReport rep;
+  rep.oracle = "native-differential";
+  ++rep.subjects;
+
+  const auto reference = runtime::run_reference(cp.program);
+  native::NativeOptions nopts;
+  nopts.threads = cp.procs;
+  native::NativeResult res;
+  try {
+    res = native::run_native(cp, nopts);
+  } catch (const Error& e) {
+    add_violation(rep, cp.program.name + ": native backend failed: " +
+                           e.full_message());
+    return rep;
+  }
+
+  ++rep.checks;
+  if (res.values.size() != reference.size()) {
+    add_violation(rep, cp.program.name + ": native backend array count "
+                       "differs from the reference");
+    return rep;
+  }
+  for (size_t a = 0; a < reference.size(); ++a) {
+    ++rep.checks;
+    if (res.values[a] == reference[a]) continue;
+    size_t at = 0;
+    while (at < reference[a].size() &&
+           at < res.values[a].size() &&
+           res.values[a][at] == reference[a][at])
+      ++at;
+    add_violation(
+        rep, strf("%s: native backend diverges from the reference on "
+                  "array %s (%d threads, first mismatch at element %zu)",
+                  cp.program.name.c_str(),
+                  cp.program.arrays[a].name.c_str(), cp.procs, at));
+  }
+  return rep;
+}
+
 // ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
@@ -505,5 +557,7 @@ ValidationReport validate_run(const core::CompiledProgram& cp,
 }
 
 bool validate_enabled() { return env_int("DCT_VALIDATE", 0) != 0; }
+
+bool native_check_enabled() { return env_int("DCT_NATIVE", 0) != 0; }
 
 }  // namespace dct::verify

@@ -77,6 +77,11 @@ OracleReport check_fold_coverage(const core::CompiledProgram& cp,
 OracleReport check_differential(const core::CompiledProgram& cp,
                                 const machine::MachineConfig& mcfg,
                                 const OracleOptions& opts = {});
+/// Runs the native threaded backend at cp.procs hardware threads and
+/// demands bit-identical array results against the sequential reference.
+/// The verify pass adds this oracle when DCT_NATIVE=1.
+OracleReport check_native(const core::CompiledProgram& cp,
+                          const OracleOptions& opts = {});
 
 // Low-level entry points, exposed so tests can aim an oracle at a
 // deliberately broken subject and prove it has teeth.
@@ -107,5 +112,9 @@ ValidationReport validate_run(const core::CompiledProgram& cp,
 
 /// True when the DCT_VALIDATE environment variable requests validation.
 bool validate_enabled();
+
+/// True when DCT_NATIVE asks the verify pass to differential-test the
+/// native threaded backend as well.
+bool native_check_enabled();
 
 }  // namespace dct::verify

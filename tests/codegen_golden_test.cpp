@@ -1,0 +1,73 @@
+// Golden tests pinning codegen::emit_program for every paper application.
+//
+// The emitted SPMD pseudocode is the human-auditable face of the whole
+// pipeline: loop bounds, owner folds, layout addressing and barrier
+// placement all surface here. Pinning the full text catches silent
+// changes anywhere in the lowering that the semantic differentials
+// cannot see (e.g. a bounds expression that is equivalent on the tested
+// sizes but wrong in general).
+//
+// To regenerate after an intentional change:
+//   DCT_UPDATE_GOLDEN=1 ./codegen_golden_test
+// then review the diff under tests/golden/ like any other code change.
+#include "codegen/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "apps/apps.hpp"
+#include "core/compiler.hpp"
+
+namespace dct::codegen {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(DCT_TEST_DIR) + "/golden/" + name + ".txt";
+}
+
+void check_golden(const std::string& name, const std::string& got) {
+  const std::string path = golden_path(name);
+  if (std::getenv("DCT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with DCT_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str()) << "emitted code for " << name
+                             << " drifted from " << path
+                             << " (regenerate with DCT_UPDATE_GOLDEN=1 if "
+                                "the change is intentional)";
+}
+
+void check_app(const std::string& name, const ir::Program& prog) {
+  for (core::Mode mode :
+       {core::Mode::Base, core::Mode::CompDecomp, core::Mode::Full}) {
+    const auto cp = core::compile(prog, mode, 4);
+    std::string suffix = mode == core::Mode::Base        ? "base"
+                         : mode == core::Mode::CompDecomp ? "comp"
+                                                          : "full";
+    check_golden(name + "_" + suffix + "_p4", emit_program(cp));
+  }
+}
+
+TEST(CodegenGolden, Figure1) { check_app("figure1", apps::figure1(32, 1)); }
+TEST(CodegenGolden, LU) { check_app("lu", apps::lu(32)); }
+TEST(CodegenGolden, Stencil5) { check_app("stencil5", apps::stencil5(32, 2)); }
+TEST(CodegenGolden, Adi) { check_app("adi", apps::adi(32, 2)); }
+TEST(CodegenGolden, Vpenta) { check_app("vpenta", apps::vpenta(32)); }
+TEST(CodegenGolden, Erlebacher) {
+  check_app("erlebacher", apps::erlebacher(16, 1));
+}
+TEST(CodegenGolden, Swm256) { check_app("swm256", apps::swm256(32, 2)); }
+TEST(CodegenGolden, Tomcatv) { check_app("tomcatv", apps::tomcatv(32, 2)); }
+
+}  // namespace
+}  // namespace dct::codegen

@@ -129,6 +129,62 @@ TEST(Analyze, SoundVsBruteForce) {
   }
 }
 
+/// analyze_pairs must attribute vectors per ordered statement pair and —
+/// unlike the nest-level summary — keep loop-independent dependences
+/// between distinct statements (they decide native-backend scheduling).
+TEST(AnalyzePairs, AttributesAndKeepsLoopIndependent) {
+  LoopNest nest = make_nest({{0, 7}, {1, 7}});
+  {
+    // s0: A(i,j) = A(i,j-1)  — self flow dependence carried by j.
+    Stmt s;
+    s.write = simple_ref(0, 2, {{0, 0}, {1, 0}});
+    s.reads = {simple_ref(0, 2, {{0, 0}, {1, -1}})};
+    nest.stmts.push_back(std::move(s));
+  }
+  {
+    // s1: B(i,j) = A(i,j)  — loop-independent flow s0 -> s1.
+    Stmt s;
+    s.write = simple_ref(1, 2, {{0, 0}, {1, 0}});
+    s.reads = {simple_ref(0, 2, {{0, 0}, {1, 0}})};
+    nest.stmts.push_back(std::move(s));
+  }
+  const auto pairs = analyze_pairs(nest);
+  bool self_carried = false, cross_li = false;
+  for (const PairDeps& pd : pairs) {
+    EXPECT_FALSE(pd.vectors.empty());
+    for (const DepVector& v : pd.vectors) {
+      if (pd.src_stmt == 0 && pd.dst_stmt == 0)
+        self_carried |= v.dist[1].has_value() && *v.dist[1] == 1;
+      if (pd.src_stmt != pd.dst_stmt) cross_li |= v.loop_independent();
+    }
+    // Self-pairs never report loop-independent vectors: one statement
+    // instance executes atomically.
+    if (pd.src_stmt == pd.dst_stmt)
+      for (const DepVector& v : pd.vectors)
+        EXPECT_FALSE(v.loop_independent());
+  }
+  EXPECT_TRUE(self_carried);
+  EXPECT_TRUE(cross_li);
+}
+
+/// Pair attribution agrees with the nest summary on carried levels.
+TEST(AnalyzePairs, CarriedLevelsCoverNestSummary) {
+  LoopNest nest = make_nest({{0, 6}, {0, 6}});
+  Stmt s;
+  s.write = simple_ref(0, 2, {{0, 0}, {1, 0}});
+  s.reads = {simple_ref(0, 2, {{0, -1}, {1, 0}})};
+  nest.stmts.push_back(std::move(s));
+  const NestDeps deps = analyze(nest);
+  const auto pairs = analyze_pairs(nest);
+  std::vector<bool> carried(nest.loops.size(), false);
+  for (const PairDeps& pd : pairs)
+    for (const DepVector& v : pd.vectors) {
+      const int l = v.carrier_level();
+      if (l >= 0) carried[static_cast<size_t>(l)] = true;
+    }
+  EXPECT_EQ(carried, deps.carried);
+}
+
 TEST(Hull, TriangularWidening) {
   const Hull h = iteration_hull(lu_nest(8));
   EXPECT_EQ(h.lo, (linalg::Vec{0, 1, 1}));

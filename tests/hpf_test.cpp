@@ -110,5 +110,88 @@ TEST(Hpf, FeedsLayoutDerivation) {
   EXPECT_EQ(l.dims(), (std::vector<linalg::Int>{16, 4, 4, 4}));
 }
 
+// ---------------------------------------------------------------------------
+// Negative inputs: malformed directives must surface as structured
+// kInvalidArgument errors carrying the source line in their context chain,
+// not as silent skips or bare asserts.
+// ---------------------------------------------------------------------------
+
+// Asserts `text` fails to parse with kInvalidArgument and that the error's
+// context chain names the expected 1-based line.
+void expect_parse_fail(const std::string& text, int line) {
+  try {
+    (void)parse(prog2d(), text);
+    FAIL() << "expected parse to throw for: " << text;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Error::Code::kInvalidArgument) << text;
+    const std::string full = e.full_message();
+    EXPECT_NE(full.find("hpf line " + std::to_string(line)),
+              std::string::npos)
+        << "missing line context in: " << full;
+  }
+}
+
+TEST(HpfErrors, UnknownDistributionKeyword) {
+  expect_parse_fail("DISTRIBUTE A(FOO, *)\n", 1);
+}
+
+TEST(HpfErrors, CyclicBlockMustBePositive) {
+  expect_parse_fail("DISTRIBUTE A(CYCLIC(0), *)\n", 1);
+  expect_parse_fail("DISTRIBUTE A(CYCLIC(-2), *)\n", 1);
+}
+
+TEST(HpfErrors, RankMismatchAgainstArray) {
+  expect_parse_fail("DISTRIBUTE A(BLOCK)\n", 1);              // A is 2-D
+  expect_parse_fail("DISTRIBUTE A(BLOCK, *, CYCLIC)\n", 1);
+}
+
+TEST(HpfErrors, RankMismatchAgainstTemplate) {
+  expect_parse_fail("TEMPLATE T(16, 16)\nDISTRIBUTE T(BLOCK)\n", 2);
+}
+
+TEST(HpfErrors, UnknownArrayOrTemplate) {
+  expect_parse_fail("DISTRIBUTE NOSUCH(BLOCK, *)\n", 1);
+  expect_parse_fail("ALIGN NOSUCH(i, j) WITH T(i, j)\n", 1);
+}
+
+TEST(HpfErrors, UnknownDirective) {
+  expect_parse_fail("REDISTRIBUTE A(BLOCK, *)\n", 1);
+}
+
+TEST(HpfErrors, UnknownAlignDummy) {
+  expect_parse_fail(
+      "TEMPLATE T(16, 16)\nDISTRIBUTE T(BLOCK, *)\n"
+      "ALIGN A(i, j) WITH T(k, j)\n",
+      3);
+}
+
+TEST(HpfErrors, AlignMissingWith) {
+  expect_parse_fail("ALIGN A(i, j) T(i, j)\n", 1);
+}
+
+TEST(HpfErrors, AlignTargetNeverDistributed) {
+  expect_parse_fail("TEMPLATE T(16, 16)\nALIGN A(i, j) WITH T(i, j)\n", 2);
+}
+
+TEST(HpfErrors, MissingParensAndSeparators) {
+  expect_parse_fail("DISTRIBUTE A BLOCK, *\n", 1);   // no '('
+  expect_parse_fail("DISTRIBUTE A(BLOCK *\n", 1);    // no ',' or ')'
+  expect_parse_fail("DISTRIBUTE A(CYCLIC(2, *)\n", 1);  // unclosed CYCLIC
+}
+
+TEST(HpfErrors, NumberOutOfRange) {
+  expect_parse_fail(
+      "DISTRIBUTE A(CYCLIC(99999999999999999999999999), *)\n", 1);
+}
+
+TEST(HpfErrors, ErrorReportsCorrectLineAmongMany) {
+  // Valid lines before and after; only line 3 is malformed.
+  expect_parse_fail(
+      "DISTRIBUTE A(BLOCK, *)\n"
+      "DISTRIBUTE B(*, CYCLIC)\n"
+      "DISTRIBUTE X(BOGUS, *, *)\n",
+      3);
+}
+
 }  // namespace
 }  // namespace dct::hpf

@@ -150,5 +150,37 @@ TEST(Verify, DifferentialOracleAgreesOnPipelinedApp) {
   EXPECT_TRUE(rep.ok()) << rep.to_string();
 }
 
+TEST(Verify, NativeOracleAgreesOnThreadedBackend) {
+  // The native oracle actually spawns cp.procs hardware threads and
+  // demands bit-identity with the sequential reference.
+  const core::CompiledProgram cp =
+      core::compile(apps::stencil5(16, 2), Mode::Full, 4);
+  const verify::OracleReport rep = verify::check_native(cp);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_GT(rep.checks, 0);
+}
+
+TEST(Verify, NativeOracleGatedByEnv) {
+  // The suite may itself run under DCT_NATIVE=1 (CI's native-smoke job
+  // does); normalize before probing the gate.
+  ASSERT_EQ(unsetenv("DCT_NATIVE"), 0);
+  EXPECT_FALSE(verify::native_check_enabled());
+  ASSERT_EQ(setenv("DCT_NATIVE", "1", 1), 0);
+  EXPECT_TRUE(verify::native_check_enabled());
+  // With both knobs set, the verify pass runs the native differential
+  // inside the pipeline and records its plan remarks.
+  ASSERT_EQ(setenv("DCT_VALIDATE", "1", 1), 0);
+  const core::CompiledProgram cp =
+      core::compile(apps::figure1(12, 2), Mode::Full, 4);
+  bool saw_native = false;
+  for (const auto& pr : cp.trace.passes)
+    if (pr.name == "verify")
+      for (const auto& [key, value] : pr.counters)
+        saw_native |= key.rfind("checks_native", 0) == 0 && value > 0;
+  EXPECT_TRUE(saw_native);
+  ASSERT_EQ(unsetenv("DCT_NATIVE"), 0);
+  ASSERT_EQ(unsetenv("DCT_VALIDATE"), 0);
+}
+
 }  // namespace
 }  // namespace dct

@@ -55,10 +55,35 @@ TEST(Walker, MatchesLinearizeOnRandomLayouts) {
   Rng rng(20260807);
   int checked = 0;
   for (int trial = 0; trial < 300; ++trial) {
-    // Random array shape.
+    // Random affine reference first: its subscript span on the walked
+    // (innermost) loop decides how big each extent must be, now that
+    // linearize rejects out-of-range indices on both paths.
     const int rank = static_cast<int>(rng.uniform(1, 3));
+    const int depth = static_cast<int>(rng.uniform(1, 3));
+    const Int trips = rng.uniform(8, 40);
+    core::CompiledRef ref;
+    ref.rank = rank;
+    ref.coeffs.assign(static_cast<size_t>(rank * depth), 0);
+    ref.offsets.assign(static_cast<size_t>(rank), 0);
+    std::vector<Int> start(static_cast<size_t>(depth), 0);
+    for (int k = 0; k + 1 < depth; ++k)
+      start[static_cast<size_t>(k)] = rng.uniform(0, 4);
     std::vector<Int> dims;
-    for (int r = 0; r < rank; ++r) dims.push_back(rng.uniform(4, 24));
+    for (int r = 0; r < rank; ++r) {
+      Int min_sub = 0;
+      Int max_sub = 0;
+      for (int k = 0; k < depth; ++k) {
+        const Int c = rng.uniform(-2, 2);
+        ref.coeffs[static_cast<size_t>(r * depth + k)] = c;
+        const Int hi = k == depth - 1 ? trips : start[static_cast<size_t>(k)];
+        min_sub += std::min<Int>(0, c * hi);
+        max_sub += std::max<Int>(0, c * hi);
+      }
+      // Offset lifts the minimum to zero; the extent covers the whole
+      // span plus slack so strip boundaries land unevenly.
+      ref.offsets[static_cast<size_t>(r)] = -min_sub;
+      dims.push_back(max_sub - min_sub + rng.uniform(4, 12));
+    }
     Layout lay = Layout::identity(dims);
 
     // Random sequence of the Section 4.2 primitives: strip-mines in the
@@ -80,31 +105,48 @@ TEST(Walker, MatchesLinearizeOnRandomLayouts) {
     }
     if (!lay.all_simple()) continue;  // nested strips may break divisibility
 
-    // Random affine reference, negative inner coefficients included. Keep
-    // subscripts non-negative by absorbing the worst case into the offset.
-    const int depth = static_cast<int>(rng.uniform(1, 3));
-    const Int trips = rng.uniform(8, 40);
-    core::CompiledRef ref;
-    ref.rank = rank;
-    ref.coeffs.assign(static_cast<size_t>(rank * depth), 0);
-    ref.offsets.assign(static_cast<size_t>(rank), 0);
-    std::vector<Int> start(static_cast<size_t>(depth), 0);
-    for (int k = 0; k + 1 < depth; ++k)
-      start[static_cast<size_t>(k)] = rng.uniform(0, 4);
-    for (int r = 0; r < rank; ++r) {
-      Int min_sub = 0;
-      for (int k = 0; k < depth; ++k) {
-        const Int c = rng.uniform(-2, 2);
-        ref.coeffs[static_cast<size_t>(r * depth + k)] = c;
-        const Int hi = k == depth - 1 ? trips : start[static_cast<size_t>(k)];
-        min_sub += std::min<Int>(0, c * hi);
-      }
-      ref.offsets[static_cast<size_t>(r)] = rng.uniform(0, 3) - min_sub;
-    }
     check_walk(ref, lay, depth, start, trips);
     ++checked;
   }
   EXPECT_GT(checked, 200);  // the skip path must stay the exception
+}
+
+TEST(Walker, StepNJumpsMatchSingleSteps) {
+  // step_n(n) powers the native backend's restricted walks: jumping the
+  // inner loop by a gap must land on exactly the address n single steps
+  // reach, across strip boundaries included.
+  Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Int> dims{rng.uniform(24, 48), rng.uniform(8, 16)};
+    Layout lay = Layout::identity(dims);
+    lay.apply(layout::StripMine{0, rng.uniform(2, 6)});
+    if (rng.uniform(0, 1) != 0) lay.apply(layout::Permute{{1, 0, 2}});
+    if (!lay.all_simple()) continue;
+
+    core::CompiledRef ref;
+    ref.rank = 2;
+    ref.coeffs = {0, 1, 1, 0};  // A(i1, i0)
+    ref.offsets = {0, 0};
+    RefWalker jumper;
+    RefWalker stepper;
+    ASSERT_TRUE(jumper.build(ref, lay, 2));
+    ASSERT_TRUE(stepper.build(ref, lay, 2));
+    const std::vector<Int> start{rng.uniform(0, dims[1] - 1), 0};
+    jumper.init(start);
+    stepper.init(start);
+    Int pos = 0;
+    while (true) {
+      const Int gap = rng.uniform(1, 7);
+      if (pos + gap >= dims[0]) break;
+      for (Int s = 0; s < gap; ++s) stepper.step();
+      jumper.step_n(gap);
+      pos += gap;
+      ASSERT_EQ(jumper.addr(), stepper.addr())
+          << "layout " << lay.to_string() << " at i1=" << pos;
+      std::vector<Int> iter{start[0], pos};
+      ASSERT_EQ(jumper.addr(), reference_addr(ref, lay, iter));
+    }
+  }
 }
 
 TEST(Walker, DerivedLayoutsAcrossDistributions) {
