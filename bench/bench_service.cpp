@@ -1,0 +1,165 @@
+// Service throughput/latency benchmark: the dctd serving stack measured
+// end to end (queue -> cache -> compile -> respond) at 1/2/4 workers,
+// cold cache vs warm cache.
+//
+// The cold pass issues one request per *unique* program (every request
+// misses and compiles); the warm pass issues the same number of requests
+// against a single already-cached program. The headline gate — warm
+// throughput >= 5x cold throughput — is the content-addressed cache's
+// reason to exist: serving a cached artifact must be far cheaper than
+// compiling it.
+//
+// Requests use the compile-only engine, so the measurement isolates the
+// serving + compilation path (execution time would swamp the cache
+// effect and scales separately; bench_native covers it).
+//
+// Output: a JSON report (DCT_BENCH_OUT, default BENCH_service.json).
+// Knobs: DCT_BENCH_SMOKE=1 (reduced request count), DCT_BENCH_REPS.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/server.hpp"
+
+using namespace dct;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PassResult {
+  double seconds = 0;
+  double req_per_sec = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  long errors = 0;
+};
+
+service::Request make_req(int i, bool unique) {
+  service::Request r;
+  r.id = std::to_string(i);
+  r.app = "lu";
+  // Cold pass: every request a distinct size -> distinct cache key ->
+  // full compile. Warm pass: one size repeated -> all hits after the
+  // first.
+  r.size = unique ? 32 + 2 * i : 32;
+  r.procs = 4;
+  r.engine = service::Engine::Compile;
+  return r;
+}
+
+PassResult run_pass(service::Server& server, int requests, bool unique) {
+  std::vector<std::future<service::Response>> futs;
+  futs.reserve(static_cast<size_t>(requests));
+  std::vector<double> total_ms;
+  total_ms.reserve(static_cast<size_t>(requests));
+  PassResult out;
+
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < requests; ++i)
+    futs.push_back(server.submit(make_req(i, unique)));
+  for (auto& f : futs) {
+    const service::Response r = f.get();
+    if (!r.ok) ++out.errors;
+    total_ms.push_back(r.total_ms);
+  }
+  out.seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  out.req_per_sec = requests / std::max(out.seconds, 1e-12);
+  std::sort(total_ms.begin(), total_ms.end());
+  const auto q = [&total_ms](double p) {
+    const size_t i = std::min(
+        total_ms.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(total_ms.size())));
+    return total_ms[i];
+  };
+  out.p50_ms = q(0.50);
+  out.p95_ms = q(0.95);
+  out.p99_ms = q(0.99);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = env_int("DCT_BENCH_SMOKE", 0) != 0;
+  const int reps = static_cast<int>(env_int("DCT_BENCH_REPS", smoke ? 1 : 3));
+  const int requests = smoke ? 48 : 192;
+
+  std::string rows;
+  double gate_warm_vs_cold = 0;  // at the highest worker count
+  std::cout << strf("%-8s %-6s %10s %12s %10s %10s %10s\n", "workers",
+                    "cache", "seconds", "req/sec", "p50 ms", "p95 ms",
+                    "p99 ms");
+  for (const int workers : {1, 2, 4}) {
+    PassResult cold, warm;
+    double cold_rps = 0, warm_rps = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      service::ServerOptions opts;
+      opts.workers = workers;
+      opts.queue_cap = static_cast<std::size_t>(requests);
+      // Cold must stay cold: capacity below the unique count would only
+      // add eviction noise, so give the pass exactly enough room.
+      opts.cache_cap = static_cast<std::size_t>(requests);
+      opts.spot_check_every = 0;
+      service::Server server(opts);
+
+      const PassResult c = run_pass(server, requests, /*unique=*/true);
+      // One priming request, then every warm request hits.
+      (void)server.call(make_req(0, /*unique=*/false));
+      const PassResult w = run_pass(server, requests, /*unique=*/false);
+      if (c.req_per_sec > cold_rps) {
+        cold_rps = c.req_per_sec;
+        cold = c;
+      }
+      if (w.req_per_sec > warm_rps) {
+        warm_rps = w.req_per_sec;
+        warm = w;
+      }
+      server.shutdown();
+    }
+
+    for (const auto& [label, pass] :
+         {std::pair<const char*, const PassResult&>{"cold", cold},
+          std::pair<const char*, const PassResult&>{"warm", warm}}) {
+      std::cout << strf("%-8d %-6s %10.4f %12.0f %10.3f %10.3f %10.3f\n",
+                        workers, label, pass.seconds, pass.req_per_sec,
+                        pass.p50_ms, pass.p95_ms, pass.p99_ms);
+      rows += strf(
+          "    {\"workers\": %d, \"cache\": \"%s\", \"requests\": %d, "
+          "\"seconds\": %.6f, \"req_per_sec\": %.1f, \"p50_ms\": %.3f, "
+          "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"errors\": %ld},\n",
+          workers, label, requests, pass.seconds, pass.req_per_sec,
+          pass.p50_ms, pass.p95_ms, pass.p99_ms, pass.errors);
+    }
+    const double ratio = warm.req_per_sec / std::max(cold.req_per_sec, 1e-12);
+    std::cout << strf("  warm vs cold at %d workers: %.1fx\n", workers,
+                      ratio);
+    gate_warm_vs_cold = ratio;  // last iteration = highest worker count
+  }
+  if (!rows.empty()) rows.erase(rows.size() - 2, 1);
+
+  const char* out_env = std::getenv("DCT_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_service.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << strf("  \"benchmark\": \"service_throughput\",\n"
+              "  \"smoke\": %s,\n  \"reps\": %d,\n  \"requests\": %d,\n",
+              smoke ? "true" : "false", reps, requests)
+      << strf("  \"warm_vs_cold_at_max_workers\": %.2f,\n",
+              gate_warm_vs_cold)
+      << "  \"runs\": [\n"
+      << rows << "  ]\n}\n";
+  out.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  const bool ok = bench::check(
+      gate_warm_vs_cold >= 5.0,
+      strf("warm cache >= 5x cold throughput at 4 workers (%.1fx)",
+           gate_warm_vs_cold));
+  return ok ? 0 : 1;
+}

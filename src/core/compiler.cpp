@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <sstream>
 
+#include <cstdlib>
+
 #include "core/pass.hpp"
 #include "linalg/int_matrix.hpp"
 #include "support/diagnostics.hpp"
 #include "support/str.hpp"
+#include "verify/oracle.hpp"
 
 namespace dct::core {
 
@@ -41,45 +44,75 @@ int CoordFold::fold(Int v) const {
   return 0;
 }
 
+CompileOptions CompileOptions::from_env() {
+  CompileOptions o;
+  o.validate = verify::validate_enabled();
+  o.native_check = verify::native_check_enabled();
+  o.decomp.debug = std::getenv("DCT_DEBUG_DECOMP") != nullptr;
+  const support::TraceOptions to = support::TraceOptions::from_env();
+  o.trace = to.enabled;
+  o.trace_path = to.path;
+  return o;
+}
+
 namespace {
 
-CompiledProgram run_pipeline(const PassManager& pm, CompilationState st) {
+CompiledProgram run_pipeline(const PassManager& pm, CompilationState st,
+                             const CompileOptions& opts) {
   support::RemarkEngine eng;
   pm.run(st, eng);
   st.cp.trace = eng.take_trace();
-  if (support::trace_enabled())
-    support::emit_trace(st.cp.trace.json(
-        {{"unit", st.cp.program.name},
-         {"mode", to_string(st.cp.mode)},
-         {"procs", strf("%d", st.cp.procs)}}));
+  if (opts.trace)
+    support::emit_trace(
+        st.cp.trace.json({{"unit", st.cp.program.name},
+                          {"mode", to_string(st.cp.mode)},
+                          {"procs", strf("%d", st.cp.procs)}}),
+        support::TraceOptions{true, opts.trace_path});
   return std::move(st.cp);
 }
 
 }  // namespace
 
 CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
-                        layout::AddrStrategy strategy) {
+                        const CompileOptions& opts) {
   DCT_CHECK(procs >= 1, "need at least one processor");
   CompilationState st;
   st.cp.program = prog;
   st.cp.mode = mode;
   st.cp.procs = procs;
-  st.cp.strategy = strategy;
-  return run_pipeline(build_pipeline(mode), std::move(st));
+  st.cp.strategy = opts.strategy;
+  return run_pipeline(build_pipeline(mode, opts), std::move(st), opts);
+}
+
+CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
+                        layout::AddrStrategy strategy) {
+  CompileOptions opts = CompileOptions::from_env();
+  opts.strategy = strategy;
+  return compile(prog, mode, procs, opts);
+}
+
+CompiledProgram compile_with_decomposition(const ir::Program& prog,
+                                           decomp::ProgramDecomposition dec,
+                                           Mode mode, int procs,
+                                           const CompileOptions& opts) {
+  DCT_CHECK(procs >= 1, "need at least one processor");
+  CompilationState st;
+  st.cp.program = prog;
+  st.cp.mode = mode;
+  st.cp.procs = procs;
+  st.cp.strategy = opts.strategy;
+  st.cp.dec = std::move(dec);
+  return run_pipeline(build_lowering_pipeline(mode, opts), std::move(st),
+                      opts);
 }
 
 CompiledProgram compile_with_decomposition(const ir::Program& prog,
                                            decomp::ProgramDecomposition dec,
                                            Mode mode, int procs,
                                            layout::AddrStrategy strategy) {
-  DCT_CHECK(procs >= 1, "need at least one processor");
-  CompilationState st;
-  st.cp.program = prog;
-  st.cp.mode = mode;
-  st.cp.procs = procs;
-  st.cp.strategy = strategy;
-  st.cp.dec = std::move(dec);
-  return run_pipeline(build_lowering_pipeline(mode), std::move(st));
+  CompileOptions opts = CompileOptions::from_env();
+  opts.strategy = strategy;
+  return compile_with_decomposition(prog, std::move(dec), mode, procs, opts);
 }
 
 std::string CompiledProgram::report() const {

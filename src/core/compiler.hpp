@@ -27,6 +27,30 @@ using linalg::Int;
 enum class Mode { Base, CompDecomp, Full };
 std::string to_string(Mode mode);
 
+/// Explicit per-compilation configuration. Historically the pipeline read
+/// environment variables (DCT_VALIDATE, DCT_NATIVE, DCT_DEBUG_DECOMP,
+/// DCT_TRACE) mid-flight; that is process-global state, so two concurrent
+/// compilations could not hold different settings and raced with setenv.
+/// All of it now travels here. The legacy compile() overloads snapshot the
+/// environment once at compile entry (from_env), preserving the env-driven
+/// behavior for batch tools; long-lived callers (the dctd service) resolve
+/// one snapshot at startup and pass it explicitly with every request.
+struct CompileOptions {
+  layout::AddrStrategy strategy = layout::AddrStrategy::Optimized;
+  decomp::DecompOptions decomp;
+  /// Append the verify pass (src/verify static oracles) to the pipeline.
+  bool validate = false;
+  /// Verify pass also differential-tests the native threaded backend.
+  bool native_check = false;
+  /// Emit the pipeline trace as one JSON line after the compile.
+  bool trace = false;
+  std::string trace_path;  ///< empty = stderr
+
+  /// Fresh snapshot of DCT_VALIDATE / DCT_NATIVE / DCT_DEBUG_DECOMP /
+  /// DCT_TRACE. Read once per call; nothing downstream touches getenv.
+  static CompileOptions from_env();
+};
+
 /// Folding of one virtual processor dimension onto physical ranks.
 struct CoordFold {
   decomp::DistKind kind = decomp::DistKind::Serial;
@@ -110,6 +134,14 @@ struct CompiledProgram {
 /// `mode` (see core/pass.hpp) and runs it through the PassManager. The
 /// processor count is a compile-time input exactly as in the paper's
 /// generated SPMD code (block sizes are ceil(d/P)).
+///
+/// Reentrant: everything the pipeline consults lives in `opts` (or the
+/// arguments), so any number of compilations may run concurrently.
+CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
+                        const CompileOptions& opts);
+
+/// Legacy entry point: snapshots the environment knobs at call time
+/// (CompileOptions::from_env) and overrides the address strategy.
 CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
                         layout::AddrStrategy strategy =
                             layout::AddrStrategy::Optimized);
@@ -118,6 +150,11 @@ CompiledProgram compile(const ir::Program& prog, Mode mode, int procs,
 /// HPF-directed decompositions): layouts, folds and schedules are derived
 /// from `dec` exactly as `compile` does from its own analysis. `mode`
 /// controls only whether layouts are restructured (Full) or kept (others).
+CompiledProgram compile_with_decomposition(const ir::Program& prog,
+                                           decomp::ProgramDecomposition dec,
+                                           Mode mode, int procs,
+                                           const CompileOptions& opts);
+
 CompiledProgram compile_with_decomposition(
     const ir::Program& prog, decomp::ProgramDecomposition dec, Mode mode,
     int procs,

@@ -87,7 +87,12 @@ SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
   const std::vector<std::vector<double>> reference =
       opts.verify ? runtime::run_reference(prog)
                   : std::vector<std::vector<double>>{};
-  const bool validate = verify::validate_enabled();
+  // One environment snapshot for the whole sweep: every cell compiles with
+  // the same explicit options, so cells racing on a thread pool can never
+  // observe a mid-sweep setenv (and passes never touch getenv themselves).
+  CompileOptions copts = CompileOptions::from_env();
+  copts.strategy = opts.strategy;
+  const bool validate = copts.validate;
 
   // Crash boundary around one cell: any failure of any attempt becomes a
   // CellFailure record; the sweep itself always completes.
@@ -105,7 +110,7 @@ SweepResult run_sweep(const ir::Program& prog, const SweepOptions& opts) {
   auto attempt = [&](const Task& t, Mode mode)
       -> std::pair<runtime::RunResult, support::PipelineTrace> {
     if (opts.fault_hook) opts.fault_hook(mode, t.procs);
-    CompiledProgram cp = compile(prog, mode, t.procs, opts.strategy);
+    CompiledProgram cp = compile(prog, mode, t.procs, copts);
     support::PipelineTrace trace = std::move(cp.trace);
     runtime::ExecOptions eopts;
     eopts.collect_values = t.verify;

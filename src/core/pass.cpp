@@ -75,7 +75,8 @@ class ParallelizePass final : public Pass {
 
 class DecomposePass final : public Pass {
  public:
-  explicit DecomposePass(bool base) : base_(base) {}
+  DecomposePass(bool base, decomp::DecompOptions opts)
+      : base_(base), opts_(opts) {}
   std::string name() const override {
     return base_ ? "decompose-base" : "decompose";
   }
@@ -83,14 +84,16 @@ class DecomposePass final : public Pass {
     // The parallelize pass left its result in dec.par; the decomposition
     // consumes it and rebuilds dec around it.
     std::vector<dep::ParallelizedNest> par = std::move(st.cp.dec.par);
-    st.cp.dec = base_ ? decomp::decompose_base_from(std::move(par),
-                                                    st.cp.program, {}, &rs)
-                      : decomp::decompose_from(std::move(par), st.cp.program,
-                                               {}, &rs);
+    st.cp.dec =
+        base_ ? decomp::decompose_base_from(std::move(par), st.cp.program,
+                                            opts_, &rs)
+              : decomp::decompose_from(std::move(par), st.cp.program, opts_,
+                                       &rs);
   }
 
  private:
   bool base_;
+  decomp::DecompOptions opts_;
 };
 
 // ---------------------------------------------------------------------------
@@ -99,10 +102,14 @@ class DecomposePass final : public Pass {
 
 class FoldSelectPass final : public Pass {
  public:
+  explicit FoldSelectPass(decomp::DecompOptions opts) : opts_(opts) {}
   std::string name() const override { return "fold-select"; }
   void run(CompilationState& st, support::RemarkSink& rs) override {
-    decomp::select_folds(st.cp.program, st.cp.dec, {}, &rs);
+    decomp::select_folds(st.cp.program, st.cp.dec, opts_, &rs);
   }
+
+ private:
+  decomp::DecompOptions opts_;
 };
 
 // ---------------------------------------------------------------------------
@@ -342,10 +349,15 @@ class AddrStrategyPass final : public Pass {
 
 class VerifyPass final : public Pass {
  public:
+  /// native: 1 = run the native differential, 0 = skip, -1 = consult the
+  /// DCT_NATIVE env var at run time (the legacy factory).
+  explicit VerifyPass(int native) : native_(native) {}
   std::string name() const override { return "verify"; }
   void run(CompilationState& st, support::RemarkSink& rs) override {
     verify::ValidationReport rep = verify::validate_compiled(st.cp);
-    if (verify::native_check_enabled()) {
+    const bool native =
+        native_ >= 0 ? native_ != 0 : verify::native_check_enabled();
+    if (native) {
       rep.oracles.push_back(verify::check_native(st.cp));
       const native::ProgramPlan pp = native::plan_program(st.cp);
       rs.count("native_sequential_nests", pp.sequential_nests);
@@ -364,6 +376,9 @@ class VerifyPass final : public Pass {
     rep.raise_if_violated(st.cp.program.name + " [" + to_string(st.cp.mode) +
                           "]");
   }
+
+ private:
+  int native_;
 };
 
 }  // namespace
@@ -371,11 +386,13 @@ class VerifyPass final : public Pass {
 std::unique_ptr<Pass> make_parallelize_pass() {
   return std::make_unique<ParallelizePass>();
 }
-std::unique_ptr<Pass> make_decompose_pass(bool base) {
-  return std::make_unique<DecomposePass>(base);
+std::unique_ptr<Pass> make_decompose_pass(bool base,
+                                          const decomp::DecompOptions& opts) {
+  return std::make_unique<DecomposePass>(base, opts);
 }
-std::unique_ptr<Pass> make_fold_select_pass() {
-  return std::make_unique<FoldSelectPass>();
+std::unique_ptr<Pass> make_fold_select_pass(
+    const decomp::DecompOptions& opts) {
+  return std::make_unique<FoldSelectPass>(opts);
 }
 std::unique_ptr<Pass> make_barrier_elim_pass() {
   return std::make_unique<BarrierElimPass>();
@@ -389,32 +406,43 @@ std::unique_ptr<Pass> make_lower_pass(bool base_block_owner) {
 std::unique_ptr<Pass> make_addr_strategy_pass() {
   return std::make_unique<AddrStrategyPass>();
 }
+std::unique_ptr<Pass> make_verify_pass(bool native_check) {
+  return std::make_unique<VerifyPass>(native_check ? 1 : 0);
+}
 std::unique_ptr<Pass> make_verify_pass() {
-  return std::make_unique<VerifyPass>();
+  return std::make_unique<VerifyPass>(-1);
 }
 
-PassManager build_pipeline(Mode mode) {
+PassManager build_pipeline(Mode mode, const CompileOptions& opts) {
   PassManager pm;
   pm.add(make_parallelize_pass());
-  pm.add(make_decompose_pass(mode == Mode::Base));
+  pm.add(make_decompose_pass(mode == Mode::Base, opts.decomp));
   if (mode != Mode::Base) {
-    pm.add(make_fold_select_pass());
+    pm.add(make_fold_select_pass(opts.decomp));
     pm.add(make_barrier_elim_pass());
   }
   pm.add(make_layout_pass(mode == Mode::Full));
   pm.add(make_lower_pass(mode == Mode::Base));
   pm.add(make_addr_strategy_pass());
-  if (verify::validate_enabled()) pm.add(make_verify_pass());
+  if (opts.validate) pm.add(make_verify_pass(opts.native_check));
   return pm;
 }
 
-PassManager build_lowering_pipeline(Mode mode) {
+PassManager build_pipeline(Mode mode) {
+  return build_pipeline(mode, CompileOptions::from_env());
+}
+
+PassManager build_lowering_pipeline(Mode mode, const CompileOptions& opts) {
   PassManager pm;
   pm.add(make_layout_pass(mode == Mode::Full));
   pm.add(make_lower_pass(mode == Mode::Base));
   pm.add(make_addr_strategy_pass());
-  if (verify::validate_enabled()) pm.add(make_verify_pass());
+  if (opts.validate) pm.add(make_verify_pass(opts.native_check));
   return pm;
+}
+
+PassManager build_lowering_pipeline(Mode mode) {
+  return build_lowering_pipeline(mode, CompileOptions::from_env());
 }
 
 }  // namespace dct::core

@@ -56,19 +56,26 @@ class PassManager {
 ///   CompDecomp: parallelize, decompose, fold-select, barrier-elim,
 ///               layout(keep), lower, addr-strategy
 ///   Full:       as CompDecomp with layout(restructure)
-/// With DCT_VALIDATE=1 every pipeline additionally ends in the `verify`
-/// pass (the static oracles of src/verify/oracle.hpp).
+/// With opts.validate every pipeline additionally ends in the `verify`
+/// pass (the static oracles of src/verify/oracle.hpp). No pass built here
+/// consults the environment — everything is captured from `opts`, so
+/// pipelines for concurrent compilations are independent.
+PassManager build_pipeline(Mode mode, const CompileOptions& opts);
+/// Legacy: snapshots the environment knobs (CompileOptions::from_env).
 PassManager build_pipeline(Mode mode);
 
 /// The lowering tail used when the decomposition is supplied by the caller
 /// (ablation studies, HPF-directed decompositions): layout onward. `mode`
 /// selects layout restructuring (Full) and the Base owner model.
+PassManager build_lowering_pipeline(Mode mode, const CompileOptions& opts);
 PassManager build_lowering_pipeline(Mode mode);
 
 // Individual pass factories — tests and tools compose custom pipelines.
 std::unique_ptr<Pass> make_parallelize_pass();
-std::unique_ptr<Pass> make_decompose_pass(bool base);
-std::unique_ptr<Pass> make_fold_select_pass();
+std::unique_ptr<Pass> make_decompose_pass(bool base,
+                                          const decomp::DecompOptions& opts = {});
+std::unique_ptr<Pass> make_fold_select_pass(
+    const decomp::DecompOptions& opts = {});
 std::unique_ptr<Pass> make_barrier_elim_pass();
 std::unique_ptr<Pass> make_layout_pass(bool restructure);
 /// `base_block_owner`: BASE's per-nest owner model (block-distribute the
@@ -77,8 +84,11 @@ std::unique_ptr<Pass> make_layout_pass(bool restructure);
 std::unique_ptr<Pass> make_lower_pass(bool base_block_owner);
 std::unique_ptr<Pass> make_addr_strategy_pass();
 /// Runs the static validation oracles (src/verify/) over the compiled
-/// program and throws Error(kOracleViolation) on any violation.
-/// build_pipeline appends it automatically when DCT_VALIDATE=1.
+/// program and throws Error(kOracleViolation) on any violation;
+/// `native_check` adds the native threaded-backend differential.
+/// build_pipeline appends it automatically when opts.validate is set.
+std::unique_ptr<Pass> make_verify_pass(bool native_check);
+/// Legacy: native differential gated by the DCT_NATIVE env var at run time.
 std::unique_ptr<Pass> make_verify_pass();
 
 }  // namespace dct::core

@@ -494,7 +494,7 @@ ProgramDecomposition decompose_from(std::vector<ParallelizedNest> par,
   // while the global cost estimate improves) ---
   std::vector<bool> active(static_cast<size_t>(ngroups), false);
   double cur = score_state(active);
-  if (std::getenv("DCT_DEBUG_DECOMP") != nullptr) {
+  if (opts.debug) {
     fprintf(stderr, "[decomp] %s: %d groups, base score %.3g\n",
             prog.name.c_str(), ngroups, cur);
     for (int g = 0; g < ngroups; ++g) {

@@ -1,0 +1,242 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/str.hpp"
+
+namespace dct::service {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& why, std::size_t pos) {
+  throw Error(Error::Code::kInvalidArgument,
+              strf("malformed JSON at offset %zu: %s", pos, why.c_str()));
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+    ++i;
+}
+
+std::string parse_string(const std::string& s, std::size_t& i) {
+  if (s[i] != '"') bad("expected '\"'", i);
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i];
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) bad("dangling escape", i);
+      switch (s[i]) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case '/': c = '/'; break;
+        default: bad(strf("unsupported escape '\\%c'", s[i]), i);
+      }
+    }
+    out += c;
+    ++i;
+  }
+  if (i >= s.size()) bad("unterminated string", i);
+  ++i;  // closing quote
+  return out;
+}
+
+std::string parse_scalar(const std::string& s, std::size_t& i) {
+  if (s[i] == '"') return parse_string(s, i);
+  const std::size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+         !std::isspace(static_cast<unsigned char>(s[i])))
+    ++i;
+  const std::string tok = s.substr(start, i - start);
+  if (tok.empty()) bad("expected a value", start);
+  if (tok == "true" || tok == "false" || tok == "null") return tok;
+  // Validate as a number so garbage is rejected here, not downstream.
+  char* end = nullptr;
+  std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) bad("invalid literal: " + tok, start);
+  return tok;
+}
+
+long require_long(const std::map<std::string, std::string>& kv,
+                  const std::string& key, long def, long lo, long hi) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return def;
+  char* end = nullptr;
+  const double d = std::strtod(it->second.c_str(), &end);
+  const long v = static_cast<long>(d);
+  if (end != it->second.c_str() + it->second.size() ||
+      static_cast<double>(v) != d)
+    throw Error(Error::Code::kInvalidArgument,
+                strf("field \"%s\": expected an integer, got \"%s\"",
+                     key.c_str(), it->second.c_str()));
+  if (v < lo || v > hi)
+    throw Error(Error::Code::kInvalidArgument,
+                strf("field \"%s\": %ld out of range [%ld, %ld]",
+                     key.c_str(), v, lo, hi));
+  return v;
+}
+
+void escape_into(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << strf("\\u%04x", c);
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_flat_json(const std::string& line) {
+  std::map<std::string, std::string> kv;
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') bad("expected '{'", i);
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws(line, i);
+      if (i >= line.size()) bad("unterminated object", i);
+      const std::string key = parse_string(line, i);
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') bad("expected ':'", i);
+      ++i;
+      skip_ws(line, i);
+      if (i >= line.size()) bad("missing value", i);
+      kv[key] = parse_scalar(line, i);
+      skip_ws(line, i);
+      if (i >= line.size()) bad("unterminated object", i);
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      bad("expected ',' or '}'", i);
+    }
+  }
+  skip_ws(line, i);
+  if (i != line.size()) bad("trailing characters", i);
+  return kv;
+}
+
+ParsedLine parse_line(const std::string& line) {
+  const std::map<std::string, std::string> kv = parse_flat_json(line);
+  ParsedLine out;
+
+  if (const auto cmd = kv.find("cmd"); cmd != kv.end()) {
+    if (cmd->second == "metrics") {
+      out.kind = ParsedLine::Kind::kMetrics;
+    } else if (cmd->second == "drain") {
+      out.kind = ParsedLine::Kind::kDrain;
+    } else if (cmd->second == "shutdown") {
+      out.kind = ParsedLine::Kind::kShutdown;
+    } else {
+      throw Error(Error::Code::kInvalidArgument,
+                  "unknown cmd \"" + cmd->second + "\"");
+    }
+    return out;
+  }
+
+  out.kind = ParsedLine::Kind::kRequest;
+  Request& r = out.request;
+  if (const auto it = kv.find("id"); it != kv.end()) r.id = it->second;
+  if (const auto it = kv.find("app"); it != kv.end()) {
+    r.app = it->second;
+  } else {
+    throw Error(Error::Code::kInvalidArgument,
+                "request is missing the \"app\" field");
+  }
+  if (const auto it = kv.find("hpf"); it != kv.end()) r.hpf = it->second;
+  r.size = require_long(kv, "size", 64, 1, 1 << 20);
+  r.steps = static_cast<int>(require_long(kv, "steps", 2, 1, 1 << 20));
+  r.procs = static_cast<int>(require_long(kv, "procs", 4, 1, 1 << 20));
+  r.seed = static_cast<std::uint64_t>(
+      require_long(kv, "seed", 42, 0, 1L << 62));
+  if (const auto it = kv.find("deadline_ms"); it != kv.end()) {
+    char* end = nullptr;
+    r.deadline_ms = std::strtod(it->second.c_str(), &end);
+    if (end != it->second.c_str() + it->second.size())
+      throw Error(Error::Code::kInvalidArgument,
+                  "field \"deadline_ms\": expected a number");
+  }
+  if (const auto it = kv.find("mode"); it != kv.end()) {
+    const std::optional<core::Mode> m = parse_mode(it->second);
+    if (!m)
+      throw Error(Error::Code::kInvalidArgument,
+                  "unknown mode \"" + it->second +
+                      "\" (known: base comp_decomp full)");
+    r.mode = *m;
+  }
+  if (const auto it = kv.find("engine"); it != kv.end()) {
+    const std::optional<Engine> e = parse_engine(it->second);
+    if (!e)
+      throw Error(Error::Code::kInvalidArgument,
+                  "unknown engine \"" + it->second +
+                      "\" (known: compile simulate native)");
+    r.engine = *e;
+  }
+  return out;
+}
+
+std::string to_json(const Response& resp) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"id\":\"";
+  escape_into(os, resp.id);
+  os << "\",\"ok\":" << (resp.ok ? "true" : "false");
+  if (!resp.ok) {
+    os << ",\"error_code\":\"";
+    escape_into(os, resp.error_code);
+    os << "\",\"error\":\"";
+    escape_into(os, resp.error);
+    os << "\"";
+    if (!resp.context.empty()) {
+      os << ",\"context\":\"";
+      escape_into(os, resp.context);
+      os << "\"";
+    }
+  }
+  os << ",\"cache_hit\":" << (resp.cache_hit ? "true" : "false")
+     << ",\"deduped\":" << (resp.deduped ? "true" : "false");
+  if (resp.key_hash != 0)
+    os << ",\"key\":\"" << strf("%016llx",
+                                static_cast<unsigned long long>(
+                                    resp.key_hash))
+       << "\"";
+  if (resp.ok) {
+    if (resp.cycles > 0) os << ",\"cycles\":" << resp.cycles;
+    if (resp.seconds > 0) os << ",\"seconds\":" << resp.seconds;
+    if (resp.statements > 0) os << ",\"statements\":" << resp.statements;
+    if (resp.values_hash != 0)
+      os << ",\"values\":\""
+         << strf("%016llx",
+                 static_cast<unsigned long long>(resp.values_hash))
+         << "\"";
+  }
+  os << strf(",\"queue_ms\":%.3f,\"compile_ms\":%.3f,\"exec_ms\":%.3f,"
+             "\"total_ms\":%.3f}",
+             resp.queue_ms, resp.compile_ms, resp.exec_ms, resp.total_ms);
+  return os.str();
+}
+
+}  // namespace dct::service

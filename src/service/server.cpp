@@ -1,0 +1,367 @@
+#include "service/server.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "apps/apps.hpp"
+#include "hpf/hpf.hpp"
+#include "machine/machine.hpp"
+#include "native/native.hpp"
+#include "runtime/executor.hpp"
+#include "support/env.hpp"
+#include "support/str.hpp"
+#include "verify/oracle.hpp"
+
+namespace dct::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+std::string join_context(const Error& e) {
+  std::string out;
+  for (const std::string& frame : e.context()) {
+    if (!out.empty()) out += '\n';
+    out += frame;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::Compile: return "compile";
+    case Engine::Simulate: return "simulate";
+    case Engine::Native: return "native";
+  }
+  return "?";
+}
+
+std::optional<Engine> parse_engine(const std::string& s) {
+  if (s == "compile") return Engine::Compile;
+  if (s == "simulate" || s.empty()) return Engine::Simulate;
+  if (s == "native") return Engine::Native;
+  return std::nullopt;
+}
+
+std::optional<core::Mode> parse_mode(const std::string& s) {
+  if (s == "base") return core::Mode::Base;
+  if (s == "comp_decomp" || s == "compdecomp") return core::Mode::CompDecomp;
+  if (s == "full" || s.empty()) return core::Mode::Full;
+  return std::nullopt;
+}
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions o;
+  o.workers = static_cast<int>(env_int("DCT_SERVICE_WORKERS", 2));
+  o.queue_cap =
+      static_cast<std::size_t>(env_int("DCT_SERVICE_QUEUE_CAP", 64));
+  o.cache_cap =
+      static_cast<std::size_t>(env_int("DCT_SERVICE_CACHE_CAP", 32));
+  o.default_deadline_ms =
+      static_cast<double>(env_int("DCT_SERVICE_DEADLINE_MS", 0));
+  o.compile = core::CompileOptions::from_env();
+  return o;
+}
+
+ir::Program build_app(const std::string& name, linalg::Int size, int steps) {
+  if (name == "crash")
+    // Deliberate non-dct exception: exercises the kFault crash boundary.
+    throw std::runtime_error("injected crash (app \"crash\")");
+  DCT_CHECK(size >= 4 && size <= 1024,
+            strf("app size %lld out of range [4, 1024]",
+                 static_cast<long long>(size)));
+  DCT_CHECK(steps >= 1 && steps <= 64,
+            strf("app steps %d out of range [1, 64]", steps));
+  if (name == "figure1") return apps::figure1(size, steps);
+  if (name == "vpenta") return apps::vpenta(size);
+  if (name == "lu") return apps::lu(size);
+  if (name == "stencil5") return apps::stencil5(size, steps);
+  if (name == "adi") return apps::adi(size, steps);
+  if (name == "erlebacher") return apps::erlebacher(size, steps);
+  if (name == "swm256") return apps::swm256(size, steps);
+  if (name == "tomcatv") return apps::tomcatv(size, steps);
+  throw Error(Error::Code::kInvalidArgument,
+              strf("unknown app \"%s\" (known: figure1 vpenta lu stencil5 "
+                   "adi erlebacher swm256 tomcatv)",
+                   name.c_str()));
+}
+
+std::uint64_t values_fingerprint(
+    const std::vector<std::vector<double>>& values) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const std::vector<double>& arr : values) {
+    mix(arr.size());
+    for (const double d : arr) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, sizeof bits);
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+Server::Server(const ServerOptions& opts)
+    : opts_(opts), cache_(opts.cache_cap) {
+  DCT_CHECK(opts_.workers >= 1, "server needs at least one worker");
+  DCT_CHECK(opts_.queue_cap >= 1, "server queue capacity must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::deliver(Item& item, Response resp) {
+  if (item.has_promise)
+    item.promise.set_value(std::move(resp));
+  else if (item.callback)
+    item.callback(std::move(resp));
+}
+
+void Server::enqueue(Item item) {
+  metrics_.on_received();
+  const double dl = item.req.deadline_ms != 0 ? item.req.deadline_ms
+                                              : opts_.default_deadline_ms;
+  if (dl > 0) item.cancel = support::CancelToken::with_deadline_ms(dl);
+  item.enqueued = Clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_not_full_.wait(lock, [this] {
+    return queue_.size() < opts_.queue_cap || stopping_;
+  });
+  if (stopping_) {
+    lock.unlock();
+    Response resp;
+    resp.id = item.req.id;
+    resp.error_code = to_string(Error::Code::kCancelled);
+    resp.error = "server is shutting down";
+    deliver(item, std::move(resp));
+    return;
+  }
+  queue_.push_back(std::move(item));
+  cv_not_empty_.notify_one();
+}
+
+std::future<Response> Server::submit(Request req) {
+  Item item;
+  item.req = std::move(req);
+  item.has_promise = true;
+  std::future<Response> fut = item.promise.get_future();
+  enqueue(std::move(item));
+  return fut;
+}
+
+void Server::submit_async(Request req, std::function<void(Response)> done) {
+  Item item;
+  item.req = std::move(req);
+  item.callback = std::move(done);
+  enqueue(std::move(item));
+}
+
+Response Server::call(Request req) { return submit(std::move(req)).get(); }
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock,
+                [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Server::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_not_empty_.notify_all();
+  cv_not_full_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+std::size_t Server::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::string Server::metrics_text() const {
+  return metrics_.render(cache_.stats(), queue_depth());
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_not_empty_.wait(lock,
+                         [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: done. (A non-empty queue is
+        // drained even during shutdown so accepted requests complete.)
+        return;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      cv_not_full_.notify_one();
+    }
+
+    deliver(item, process(item));
+
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+Response Server::process(Item& item) {
+  const Request& req = item.req;
+  Response resp;
+  resp.id = req.id;
+
+  const Clock::time_point dequeued = Clock::now();
+  resp.queue_ms =
+      std::chrono::duration<double, std::milli>(dequeued - item.enqueued)
+          .count();
+
+  double compile_ms = 0, exec_ms = 0;
+  try {
+    item.cancel.check("dctd queue wait");
+    DCT_CHECK(req.procs >= 1 && req.procs <= 64,
+              strf("procs %d out of range [1, 64]", req.procs));
+
+    const ir::Program prog = build_app(req.app, req.size, req.steps);
+    core::CompileOptions copts = opts_.compile;
+    const std::string key =
+        cache_key(prog, req.mode, req.procs, copts, req.hpf);
+    resp.key_hash = fnv1a(key);
+
+    const Clock::time_point c0 = Clock::now();
+    const CompileCache::Lookup looked =
+        cache_.get_or_compile(key, [&]() -> CompileCache::Compiled {
+          if (req.hpf.empty())
+            return std::make_shared<const core::CompiledProgram>(
+                core::compile(prog, req.mode, req.procs, copts));
+          // HPF bridge: run the automatic decomposition, then override the
+          // data decomposition of every array the directives name. Virtual
+          // processor dimensions in the directives must fit the automatic
+          // decomposition's processor space — remapping a larger directive
+          // grid is out of scope for the service.
+          decomp::ProgramDecomposition dec =
+              decomp::decompose(prog, copts.decomp);
+          const hpf::Directives dirs = hpf::parse(prog, req.hpf);
+          for (const auto& [name, ad] : dirs.arrays) {
+            for (const decomp::DimDistribution& d : ad.dims)
+              if (d.proc_dim >= dec.num_proc_dims)
+                throw Error(
+                    Error::Code::kUnsupportedConfig,
+                    strf("HPF directive for \"%s\" uses processor dim %d "
+                         "but the decomposition has %d",
+                         name.c_str(), d.proc_dim, dec.num_proc_dims));
+            const int id = prog.array_id(name);
+            dec.arrays[static_cast<std::size_t>(id)] = ad;
+          }
+          return std::make_shared<const core::CompiledProgram>(
+              core::compile_with_decomposition(prog, std::move(dec),
+                                               req.mode, req.procs, copts));
+        });
+    compile_ms = ms_since(c0);
+    resp.cache_hit = looked.hit;
+    resp.deduped = looked.deduped;
+    const core::CompiledProgram& cp = *looked.program;
+
+    if (looked.hit) {
+      metrics_.on_cache_hit();
+      if (opts_.spot_check_every > 0 &&
+          spot_counter_.fetch_add(1, std::memory_order_relaxed) %
+                  opts_.spot_check_every ==
+              0) {
+        metrics_.on_spot_check();
+        verify::validate_compiled(cp).raise_if_violated(
+            strf("cache spot-check %s", req.app.c_str()));
+      }
+    }
+
+    item.cancel.check("dctd post-compile");
+    const Clock::time_point e0 = Clock::now();
+    switch (req.engine) {
+      case Engine::Compile:
+        break;
+      case Engine::Simulate: {
+        runtime::ExecOptions eo;
+        eo.init_seed = req.seed;
+        eo.cancel = item.cancel;
+        const runtime::RunResult rr =
+            runtime::simulate(cp, machine::MachineConfig::dash(req.procs),
+                              eo);
+        resp.cycles = rr.cycles;
+        resp.statements = rr.statements;
+        resp.values_hash = values_fingerprint(rr.values);
+        break;
+      }
+      case Engine::Native: {
+        native::NativeOptions no;
+        no.threads = req.procs;
+        no.init_seed = req.seed;
+        const native::NativeResult nr = native::run_native(cp, no);
+        resp.seconds = nr.seconds;
+        resp.statements = nr.statements;
+        resp.values_hash = values_fingerprint(nr.values);
+        break;
+      }
+    }
+    exec_ms = ms_since(e0);
+    resp.ok = true;
+  } catch (const Error& e) {
+    // Crash boundary tier 1: structured dct errors pass through verbatim.
+    resp.ok = false;
+    resp.error_code = to_string(e.code());
+    resp.error = e.what();
+    resp.context = join_context(e);
+  } catch (const std::exception& e) {
+    // Tier 2: foreign exceptions become kFault — the request failed but
+    // the worker (and every other queued request) is unaffected.
+    resp.ok = false;
+    resp.error_code = to_string(Error::Code::kFault);
+    resp.error = e.what();
+  } catch (...) {
+    resp.ok = false;
+    resp.error_code = to_string(Error::Code::kFault);
+    resp.error = "unknown exception";
+  }
+
+  resp.compile_ms = compile_ms;
+  resp.exec_ms = exec_ms;
+  resp.total_ms = resp.queue_ms + ms_since(dequeued);
+
+  RequestSample sample;
+  sample.queue_us = resp.queue_ms * 1000.0;
+  sample.compile_us = resp.compile_ms * 1000.0;
+  sample.exec_us = resp.exec_ms * 1000.0;
+  sample.total_us = resp.total_ms * 1000.0;
+  Error::Code code = Error::Code::kGeneric;
+  if (!resp.ok) {
+    for (int c = 0; c <= static_cast<int>(Error::Code::kFault); ++c)
+      if (resp.error_code == to_string(static_cast<Error::Code>(c)))
+        code = static_cast<Error::Code>(c);
+  }
+  metrics_.on_completed(sample, resp.ok, code);
+  return resp;
+}
+
+}  // namespace dct::service

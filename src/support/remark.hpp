@@ -120,10 +120,25 @@ class RemarkEngine final : public RemarkSink {
   double start_ms_ = 0;
 };
 
+/// Explicit trace destination, so concurrent compilations can carry their
+/// own configuration instead of each re-reading DCT_TRACE mid-flight (the
+/// service resolves one snapshot at startup and threads it through every
+/// request's CompileOptions).
+struct TraceOptions {
+  bool enabled = false;
+  std::string path;  ///< empty = stderr
+
+  /// Snapshot of the DCT_TRACE environment variable (see file header).
+  static TraceOptions from_env();
+};
+
 /// True when DCT_TRACE requests report emission.
 bool trace_enabled();
 /// Emit one JSON report line to the DCT_TRACE destination (stderr or file).
 void emit_trace(const std::string& json_line);
+/// Emit one JSON report line to an explicit destination. Emission is
+/// serialized process-wide regardless of destination.
+void emit_trace(const std::string& json_line, const TraceOptions& to);
 
 /// JSON string escaping (exposed for tests).
 std::string json_escape(const std::string& s);

@@ -1,0 +1,216 @@
+// Concurrency regression tests, written to run under ThreadSanitizer
+// (the build-tsan CI job builds with -fsanitize=thread and runs exactly
+// this binary plus the service tests).
+//
+// Historically the pipeline consulted process-global state mid-compile
+// (getenv for DCT_TRACE / DCT_VALIDATE / DCT_DEBUG_DECOMP), so two
+// concurrent compilations with different settings raced. These tests pin
+// the fix: every knob travels in CompileOptions, so concurrent compiles
+// with *different* options — tracing to different sinks included — are
+// clean, and the serving cache keeps its invariants under a thread storm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/compiler.hpp"
+#include "runtime/executor.hpp"
+#include "service/cache.hpp"
+#include "service/server.hpp"
+
+namespace dct {
+namespace {
+
+using service::Engine;
+using service::Request;
+using service::Response;
+using service::Server;
+using service::ServerOptions;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// The satellite regression: two programs compiled concurrently, both with
+// tracing enabled but aimed at per-compilation sinks. Before the
+// CompileOptions refactor this setup raced on the env-derived global
+// trace flag; now each compile owns its options and its sink.
+TEST(Concurrency, ConcurrentTracedCompiles) {
+  const std::string path_a = "concurrency_trace_a.jsonl";
+  const std::string path_b = "concurrency_trace_b.jsonl";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  constexpr int kRounds = 4;
+  std::thread ta([&] {
+    core::CompileOptions opts;
+    opts.trace = true;
+    opts.trace_path = path_a;
+    for (int i = 0; i < kRounds; ++i)
+      (void)core::compile(apps::lu(16), core::Mode::Full, 4, opts);
+  });
+  std::thread tb([&] {
+    core::CompileOptions opts;
+    opts.trace = true;
+    opts.trace_path = path_b;
+    opts.validate = true;  // different pipeline shape, concurrently
+    for (int i = 0; i < kRounds; ++i)
+      (void)core::compile(apps::adi(16, 2), core::Mode::Full, 4, opts);
+  });
+  ta.join();
+  tb.join();
+
+  // Each sink holds exactly its own compile's trace lines.
+  const std::string a = read_file(path_a), b = read_file(path_b);
+  EXPECT_EQ(std::count(a.begin(), a.end(), '\n'), kRounds);
+  EXPECT_EQ(std::count(b.begin(), b.end(), '\n'), kRounds);
+  EXPECT_NE(a.find("\"lu\""), std::string::npos);
+  EXPECT_EQ(a.find("\"adi\""), std::string::npos);
+  EXPECT_NE(b.find("\"adi\""), std::string::npos);
+  EXPECT_EQ(b.find("\"lu\""), std::string::npos);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+// Concurrent compiles with *different* debug/validate settings: proves no
+// hidden process-global knob is consulted mid-pipeline.
+TEST(Concurrency, MixedOptionCompiles) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &failures] {
+      core::CompileOptions opts;
+      opts.validate = (t % 2 == 0);
+      opts.decomp.debug = false;
+      try {
+        for (int i = 0; i < 3; ++i)
+          (void)core::compile(apps::stencil5(16, 2),
+                              t % 2 ? core::Mode::Full
+                                    : core::Mode::CompDecomp,
+                              4, opts);
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The satellite cache stress: N threads x M requests over a mixed
+// workload. Asserts the three cache invariants at once — single-flight
+// (compile count == unique programs when nothing is evicted), the LRU
+// bound, and bit-identical results against a sequential baseline.
+TEST(Concurrency, CacheStressMatchesSequential) {
+  struct Combo {
+    std::string app;
+    core::Mode mode;
+    int procs;
+  };
+  const std::vector<Combo> combos = {
+      {"figure1", core::Mode::Full, 2},  {"figure1", core::Mode::Base, 2},
+      {"lu", core::Mode::Full, 4},       {"lu", core::Mode::CompDecomp, 2},
+      {"adi", core::Mode::Full, 2},      {"stencil5", core::Mode::Full, 4},
+  };
+
+  // Sequential baseline, bypassing the service entirely.
+  std::map<std::string, std::uint64_t> expected;
+  for (const Combo& c : combos) {
+    const core::CompiledProgram cp =
+        core::compile(service::build_app(c.app, 20, 2), c.mode, c.procs,
+                      core::CompileOptions{});
+    const runtime::RunResult rr =
+        runtime::simulate(cp, machine::MachineConfig::dash(c.procs));
+    expected[c.app + std::to_string(static_cast<int>(c.mode)) +
+             std::to_string(c.procs)] = service::values_fingerprint(rr.values);
+  }
+
+  ServerOptions sopts;
+  sopts.workers = 4;
+  sopts.queue_cap = 8;  // small: exercises submit() backpressure
+  sopts.cache_cap = combos.size();  // no evictions -> single-flight holds
+  sopts.spot_check_every = 4;
+  Server server(sopts);
+
+  constexpr int kThreads = 4, kPerThread = 24;
+  std::atomic<int> mismatches{0}, errors{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(1234 + t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const Combo& c = combos[rng() % combos.size()];
+        Request r;
+        r.id = std::to_string(t) + ":" + std::to_string(i);
+        r.app = c.app;
+        r.size = 20;
+        r.mode = c.mode;
+        r.procs = c.procs;
+        const Response resp = server.call(r);
+        if (!resp.ok) {
+          errors.fetch_add(1);
+          continue;
+        }
+        const std::uint64_t want =
+            expected.at(c.app + std::to_string(static_cast<int>(c.mode)) +
+                        std::to_string(c.procs));
+        if (resp.values_hash != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.drain();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent cached results must be bit-identical to sequential";
+  const auto stats = server.cache().stats();
+  EXPECT_EQ(stats.misses, static_cast<long>(combos.size()))
+      << "single-flight: exactly one compile per unique program";
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_LE(stats.entries, stats.capacity);
+  EXPECT_EQ(stats.hits + stats.inflight_dedup + stats.misses,
+            static_cast<long>(kThreads) * kPerThread);
+}
+
+// LRU bound under churn: a cache far smaller than the workload's unique
+// set must stay within capacity while every request still succeeds.
+TEST(Concurrency, TinyCacheChurnStaysBounded) {
+  ServerOptions sopts;
+  sopts.workers = 4;
+  sopts.cache_cap = 2;
+  Server server(sopts);
+
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 24; ++i) {
+    Request r;
+    r.id = std::to_string(i);
+    r.app = (i % 2) ? "lu" : "figure1";
+    r.size = 16 + 2 * (i % 4);  // 4 sizes x 2 apps = 8 unique keys
+    r.procs = 2;
+    r.engine = Engine::Compile;
+    futs.push_back(server.submit(r));
+  }
+  for (auto& f : futs) {
+    const Response r = f.get();
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  server.drain();
+  const auto stats = server.cache().stats();
+  EXPECT_LE(stats.entries, 2u);
+  EXPECT_GT(stats.evictions, 0);
+}
+
+}  // namespace
+}  // namespace dct

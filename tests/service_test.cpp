@@ -1,0 +1,332 @@
+// Tests for the dctd serving layer (src/service/): the content-addressed
+// compilation cache (keys, LRU bound, single-flight, failure paths), the
+// request server's crash boundaries and deadlines, the HPF request
+// bridge, the wire protocol, and the metrics dump shape.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/compiler.hpp"
+#include "runtime/executor.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/diagnostics.hpp"
+
+namespace dct {
+namespace {
+
+using service::CompileCache;
+using service::Engine;
+using service::Request;
+using service::Response;
+using service::Server;
+using service::ServerOptions;
+
+ServerOptions small_server(int workers = 2) {
+  ServerOptions o;
+  o.workers = workers;
+  o.queue_cap = 16;
+  o.cache_cap = 8;
+  o.spot_check_every = 1;  // spot-check every hit: more teeth per test
+  return o;
+}
+
+Request req(const std::string& app, int procs = 4,
+            Engine engine = Engine::Simulate) {
+  Request r;
+  r.id = app;
+  r.app = app;
+  r.size = 24;
+  r.procs = procs;
+  r.engine = engine;
+  return r;
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(CacheKey, DistinguishesEveryInput) {
+  const core::CompileOptions opts;
+  const ir::Program lu = apps::lu(24);
+  const std::string base =
+      service::cache_key(lu, core::Mode::Full, 4, opts);
+  // Same inputs -> same key (the property caching rests on).
+  EXPECT_EQ(base, service::cache_key(lu, core::Mode::Full, 4, opts));
+
+  std::set<std::string> keys = {base};
+  keys.insert(service::cache_key(lu, core::Mode::Base, 4, opts));
+  keys.insert(service::cache_key(lu, core::Mode::Full, 8, opts));
+  keys.insert(service::cache_key(apps::lu(32), core::Mode::Full, 4, opts));
+  keys.insert(service::cache_key(apps::adi(24), core::Mode::Full, 4, opts));
+  core::CompileOptions strat = opts;
+  strat.strategy = layout::AddrStrategy::Naive;
+  keys.insert(service::cache_key(lu, core::Mode::Full, 4, strat));
+  core::CompileOptions val = opts;
+  val.validate = true;
+  keys.insert(service::cache_key(lu, core::Mode::Full, 4, val));
+  keys.insert(service::cache_key(lu, core::Mode::Full, 4, opts, "salt"));
+  EXPECT_EQ(keys.size(), 8u) << "every varied input must change the key";
+}
+
+TEST(CacheKey, TraceKnobsDoNotChangeTheKey) {
+  // Trace output does not affect the compiled artifact, so it must not
+  // fragment the cache.
+  const ir::Program prog = apps::figure1(16, 2);
+  core::CompileOptions a, b;
+  b.trace = true;
+  b.trace_path = "/tmp/somewhere.jsonl";
+  EXPECT_EQ(service::cache_key(prog, core::Mode::Full, 4, a),
+            service::cache_key(prog, core::Mode::Full, 4, b));
+}
+
+TEST(Cache, HitMissAndLruEviction) {
+  CompileCache cache(2);
+  const auto compile_app = [](const ir::Program& p) {
+    return std::make_shared<const core::CompiledProgram>(
+        core::compile(p, core::Mode::Full, 2, core::CompileOptions{}));
+  };
+  const core::CompileOptions opts;
+  const ir::Program a = apps::figure1(16, 2), b = apps::lu(16),
+                    c = apps::adi(16, 2);
+  const std::string ka = service::cache_key(a, core::Mode::Full, 2, opts);
+  const std::string kb = service::cache_key(b, core::Mode::Full, 2, opts);
+  const std::string kc = service::cache_key(c, core::Mode::Full, 2, opts);
+
+  EXPECT_FALSE(cache.get_or_compile(ka, [&] { return compile_app(a); }).hit);
+  EXPECT_FALSE(cache.get_or_compile(kb, [&] { return compile_app(b); }).hit);
+  EXPECT_TRUE(cache.get_or_compile(ka, [&] { return compile_app(a); }).hit);
+
+  // Inserting c evicts the LRU entry — b, since a was just touched.
+  EXPECT_FALSE(cache.get_or_compile(kc, [&] { return compile_app(c); }).hit);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_NE(cache.lookup(ka), nullptr);
+  EXPECT_EQ(cache.lookup(kb), nullptr);
+  EXPECT_NE(cache.lookup(kc), nullptr);
+}
+
+TEST(Cache, FailedCompileLeavesNoEntryAndRetries) {
+  CompileCache cache(4);
+  int calls = 0;
+  const auto failing = [&calls]() -> CompileCache::Compiled {
+    ++calls;
+    throw Error(Error::Code::kUnsupportedConfig, "nope");
+  };
+  EXPECT_THROW(cache.get_or_compile("k", failing), Error);
+  EXPECT_EQ(cache.stats().failures, 1);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // The next request for the same key retries (and may succeed).
+  EXPECT_THROW(cache.get_or_compile("k", failing), Error);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Cache, SingleFlightCompilesOnce) {
+  CompileCache cache(8);
+  const ir::Program prog = apps::lu(24);
+  std::atomic<int> compiles{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<CompileCache::Compiled> got(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[static_cast<size_t>(t)] =
+          cache
+              .get_or_compile("same-key",
+                              [&]() -> CompileCache::Compiled {
+                                compiles.fetch_add(1);
+                                return std::make_shared<
+                                    const core::CompiledProgram>(
+                                    core::compile(prog, core::Mode::Full, 4,
+                                                  core::CompileOptions{}));
+                              })
+              .program;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(compiles.load(), 1) << "single-flight must dedup compiles";
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(got[static_cast<size_t>(t)].get(), got[0].get())
+        << "every waiter must receive the same artifact";
+  const CompileCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits + s.inflight_dedup, kThreads - 1);
+}
+
+// --------------------------------------------------------------- server
+
+TEST(Server, ServesAndCaches) {
+  Server server(small_server());
+  const Response r1 = server.call(req("lu"));
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_GT(r1.cycles, 0);
+  EXPECT_GT(r1.statements, 0);
+
+  const Response r2 = server.call(req("lu"));
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r1.key_hash, r2.key_hash);
+  // Identical request -> bit-identical results, cached or not.
+  EXPECT_EQ(r1.values_hash, r2.values_hash);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+}
+
+TEST(Server, EnginesAgreeOnValues) {
+  // The simulator and the native backend run the same compiled artifact
+  // and must produce bit-identical array results.
+  Server server(small_server());
+  const Response sim = server.call(req("stencil5", 2, Engine::Simulate));
+  const Response nat = server.call(req("stencil5", 2, Engine::Native));
+  ASSERT_TRUE(sim.ok) << sim.error;
+  ASSERT_TRUE(nat.ok) << nat.error;
+  EXPECT_TRUE(nat.cache_hit) << "same compile key regardless of engine";
+  EXPECT_EQ(sim.values_hash, nat.values_hash);
+}
+
+TEST(Server, FaultIsolation) {
+  // A crashing request, a malformed request and a deadline trip must each
+  // produce a structured error while healthy requests keep flowing.
+  Server server(small_server(4));
+  std::vector<std::future<Response>> futs;
+  futs.push_back(server.submit(req("crash")));
+  futs.push_back(server.submit(req("nosuch-app")));
+  Request dead = req("adi");
+  dead.deadline_ms = 0.0001;  // trips in the queue, long before compile
+  futs.push_back(server.submit(dead));
+  Request bad_procs = req("lu");
+  bad_procs.procs = 65;
+  futs.push_back(server.submit(bad_procs));
+  for (int i = 0; i < 6; ++i) futs.push_back(server.submit(req("lu")));
+
+  const Response crash = futs[0].get();
+  EXPECT_FALSE(crash.ok);
+  EXPECT_EQ(crash.error_code, to_string(Error::Code::kFault));
+
+  const Response unknown = futs[1].get();
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_EQ(unknown.error_code, to_string(Error::Code::kInvalidArgument));
+
+  const Response deadline = futs[2].get();
+  EXPECT_FALSE(deadline.ok);
+  EXPECT_EQ(deadline.error_code,
+            to_string(Error::Code::kDeadlineExceeded));
+
+  const Response procs = futs[3].get();
+  EXPECT_FALSE(procs.ok);
+  EXPECT_EQ(procs.error_code, to_string(Error::Code::kGeneric));
+
+  for (size_t i = 4; i < futs.size(); ++i) {
+    const Response r = futs[i].get();
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  EXPECT_EQ(server.metrics().errors(), 4);
+  EXPECT_EQ(server.metrics().ok(), 6);
+}
+
+TEST(Server, HpfDirectiveRequests) {
+  Server server(small_server());
+  Request plain = req("adi");
+  Request directed = req("adi");
+  directed.hpf = "!HPF$ DISTRIBUTE X(*, BLOCK)";
+  const Response a = server.call(plain);
+  const Response b = server.call(directed);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  // The directive text salts the cache key: these are distinct artifacts.
+  EXPECT_NE(a.key_hash, b.key_hash);
+  EXPECT_FALSE(b.cache_hit);
+  // Results stay bit-identical under a different data decomposition.
+  EXPECT_EQ(a.values_hash, b.values_hash);
+
+  Request malformed = req("adi");
+  malformed.hpf = "!HPF$ DISTRIBUTE nosucharray(BLOCK)";
+  const Response c = server.call(malformed);
+  EXPECT_FALSE(c.ok);
+  EXPECT_EQ(c.error_code, to_string(Error::Code::kInvalidArgument));
+}
+
+TEST(Server, DrainWaitsForAllAccepted) {
+  Server server(small_server(2));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i)
+    server.submit_async(req(i % 2 ? "lu" : "figure1"),
+                        [&done](Response) { done.fetch_add(1); });
+  server.drain();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(Server, MetricsDumpShape) {
+  Server server(small_server());
+  (void)server.call(req("lu"));
+  (void)server.call(req("lu"));
+  (void)server.call(req("nosuch-app"));
+  server.drain();
+  const std::string dump = server.metrics_text();
+  for (const char* needle :
+       {"dctd_requests_total 3", "dctd_requests_ok 2",
+        "dctd_requests_error 1", "dctd_cache_hits 1", "dctd_cache_misses 1",
+        "dctd_queue_depth 0",
+        "dctd_latency_ms{stage=\"total\",quantile=\"p99\"}"})
+    EXPECT_NE(dump.find(needle), std::string::npos)
+        << "missing \"" << needle << "\" in:\n"
+        << dump;
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesRequestsAndCommands) {
+  const service::ParsedLine r = service::parse_line(
+      R"({"id":"x", "app":"lu", "size": 32, "procs": 8, "mode": "base",)"
+      R"( "engine": "native", "deadline_ms": 12.5, "seed": 7})");
+  ASSERT_EQ(r.kind, service::ParsedLine::Kind::kRequest);
+  EXPECT_EQ(r.request.id, "x");
+  EXPECT_EQ(r.request.app, "lu");
+  EXPECT_EQ(r.request.size, 32);
+  EXPECT_EQ(r.request.procs, 8);
+  EXPECT_EQ(r.request.mode, core::Mode::Base);
+  EXPECT_EQ(r.request.engine, Engine::Native);
+  EXPECT_DOUBLE_EQ(r.request.deadline_ms, 12.5);
+  EXPECT_EQ(r.request.seed, 7u);
+
+  EXPECT_EQ(service::parse_line(R"({"cmd":"metrics"})").kind,
+            service::ParsedLine::Kind::kMetrics);
+  EXPECT_EQ(service::parse_line(R"({"cmd":"drain"})").kind,
+            service::ParsedLine::Kind::kDrain);
+  EXPECT_EQ(service::parse_line(R"({"cmd":"shutdown"})").kind,
+            service::ParsedLine::Kind::kShutdown);
+}
+
+TEST(Protocol, RejectsMalformedLines) {
+  for (const char* line :
+       {"", "not json", "{", R"({"app" "lu"})", R"({"app":"lu")",
+        R"({"app":"lu"} trailing)", R"({"size": 32})",
+        R"({"app":"lu", "size": "big"})", R"({"app":"lu", "procs": 1.5})",
+        R"({"cmd":"reboot"})", R"({"app":"lu", "mode":"turbo"})",
+        R"({"app":"lu", "engine":"gpu"})"}) {
+    EXPECT_THROW((void)service::parse_line(line), Error)
+        << "accepted: " << line;
+  }
+}
+
+TEST(Protocol, ResponseJsonRoundTrips) {
+  Response resp;
+  resp.id = "he said \"hi\"\n";
+  resp.ok = false;
+  resp.error_code = "fault";
+  resp.error = "tab\there";
+  const std::string json = service::to_json(resp);
+  // Our own parser must accept our own output (escapes included).
+  const auto kv = service::parse_flat_json(json);
+  EXPECT_EQ(kv.at("id"), resp.id);
+  EXPECT_EQ(kv.at("ok"), "false");
+  EXPECT_EQ(kv.at("error"), resp.error);
+}
+
+}  // namespace
+}  // namespace dct

@@ -1,0 +1,85 @@
+// dctd — the concurrent compile-and-execute service front door.
+//
+// Reads JSON lines from stdin (see src/service/protocol.hpp for the
+// schema), serves them through a worker pool backed by the content-
+// addressed compilation cache, and writes one JSON response line to
+// stdout per request, in completion order. Control lines:
+//
+//   {"cmd": "metrics"}   drain, then print the metrics text dump to stderr
+//   {"cmd": "drain"}     block until all accepted requests completed
+//   {"cmd": "shutdown"}  drain and exit 0 (EOF on stdin does the same)
+//
+// Configuration (environment, resolved once at startup):
+//   DCT_SERVICE_WORKERS      worker threads            (default 2)
+//   DCT_SERVICE_CACHE_CAP    cache entries             (default 32)
+//   DCT_SERVICE_QUEUE_CAP    queue bound, backpressure (default 64)
+//   DCT_SERVICE_DEADLINE_MS  default request deadline  (default 0 = none)
+// plus the compilation knobs DCT_VALIDATE / DCT_NATIVE / DCT_TRACE /
+// DCT_DEBUG_DECOMP, snapshotted into the per-request CompileOptions.
+//
+//   $ printf '%s\n' '{"id":"1","app":"lu","size":64,"procs":4}' | ./dctd
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+int main() {
+  using namespace dct;
+
+  service::Server server(service::ServerOptions::from_env());
+  std::mutex out_mu;  // response lines must not interleave
+
+  const auto respond = [&out_mu](const service::Response& resp) {
+    const std::lock_guard<std::mutex> lock(out_mu);
+    std::cout << service::to_json(resp) << "\n" << std::flush;
+  };
+
+  std::string line;
+  long lineno = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+
+    service::ParsedLine parsed;
+    try {
+      parsed = service::parse_line(line);
+    } catch (const Error& e) {
+      // Malformed input is a per-line failure, never a server failure.
+      server.metrics().on_rejected();
+      service::Response resp;
+      resp.id = "line-" + std::to_string(lineno);
+      resp.error_code = to_string(e.code());
+      resp.error = e.what();
+      respond(resp);
+      continue;
+    }
+
+    switch (parsed.kind) {
+      case service::ParsedLine::Kind::kMetrics:
+        server.drain();  // settle counters so the dump is deterministic
+        std::cerr << server.metrics_text() << std::flush;
+        break;
+      case service::ParsedLine::Kind::kDrain:
+        server.drain();
+        break;
+      case service::ParsedLine::Kind::kShutdown:
+        server.drain();
+        server.shutdown();
+        return 0;
+      case service::ParsedLine::Kind::kRequest:
+        if (parsed.request.id.empty())
+          parsed.request.id = "line-" + std::to_string(lineno);
+        // Completion-order output: the serving worker prints the response
+        // the moment the request finishes (drain() then guarantees every
+        // accepted request has been answered on stdout).
+        server.submit_async(std::move(parsed.request), respond);
+        break;
+    }
+  }
+
+  server.drain();
+  server.shutdown();
+  return 0;
+}
